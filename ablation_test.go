@@ -1,0 +1,196 @@
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+// routing lookahead, scheduling policy, SQA Trotter depth, QAM recall vs
+// plain Grover, and QX gate fusion.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/circuit"
+	"repro/internal/compiler"
+	"repro/internal/grover"
+	"repro/internal/qam"
+	"repro/internal/qubo"
+	"repro/internal/qx"
+	"repro/internal/topology"
+	"repro/internal/tsp"
+)
+
+// Routing: nearest-first SWAP chains vs lookahead-window routing.
+func BenchmarkAblation_Routing(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	c := circuit.RandomCircuit(9, 8, rng)
+	platform := &compiler.Platform{Name: "grid", NumQubits: 9,
+		Topology: topology.Grid(3, 3), Gates: map[string]compiler.GateInfo{}}
+	rows := ""
+	for _, la := range []bool{false, true} {
+		la := la
+		name := "greedy"
+		if la {
+			name = "lookahead"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mr *compiler.MapResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				mr, err = compiler.MapCircuit(c, platform, compiler.MapOptions{Lookahead: la})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(mr.AddedSwaps), "swaps")
+			rows += fmt.Sprintf("%-10s swaps %d\n", name, mr.AddedSwaps)
+		})
+	}
+	report("Ablation routing", rows)
+}
+
+// Scheduling: ASAP vs ALAP makespan and idle placement.
+func BenchmarkAblation_Scheduler(b *testing.B) {
+	platform := compiler.Superconducting()
+	rng := rand.New(rand.NewSource(22))
+	raw := circuit.RandomCircuit(6, 8, rng)
+	dec, err := compiler.Decompose(raw, platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := ""
+	for _, pol := range []compiler.Policy{compiler.ASAP, compiler.ALAP} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			var sched *compiler.Schedule
+			for i := 0; i < b.N; i++ {
+				sched, err = compiler.ScheduleCircuit(dec, platform, pol)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Mean start cycle shows how late gates are packed.
+			var mean float64
+			for _, sg := range sched.Gates {
+				mean += float64(sg.Cycle)
+			}
+			mean /= float64(len(sched.Gates))
+			b.ReportMetric(float64(sched.Makespan), "makespan")
+			rows += fmt.Sprintf("%-5s makespan %3d  mean start %.1f\n", pol, sched.Makespan, mean)
+		})
+	}
+	report("Ablation scheduler (same makespan, ALAP packs later)", rows)
+}
+
+// SQA Trotter depth: P=1 (≈ classical SA) vs deeper path integrals.
+func BenchmarkAblation_SQATrotter(b *testing.B) {
+	g := tsp.Netherlands4()
+	enc := tsp.Encode(g, 0)
+	rows := ""
+	for _, p := range []int{1, 8, 32} {
+		p := p
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			success := 0
+			const tries = 10
+			for i := 0; i < b.N; i++ {
+				success = 0
+				for s := int64(0); s < tries; s++ {
+					res := anneal.SolveQUBOQuantum(enc.Q, anneal.SQAOptions{
+						Trotter: p, Sweeps: 600, Restarts: 1, Seed: s,
+					})
+					if tour, err := enc.Decode(res.Bits); err == nil && g.TourCost(tour) < 1.43 {
+						success++
+					}
+				}
+			}
+			rate := float64(success) / tries
+			b.ReportMetric(rate, "success-rate")
+			rows += fmt.Sprintf("P=%-3d optimal-tour rate %.2f\n", p, rate)
+		})
+	}
+	report("Ablation SQA Trotter slices", rows)
+}
+
+// QAM recall (amplitude amplification about the memory state) vs plain
+// Grover over the uniform superposition for the same approximate match.
+func BenchmarkAblation_QAMvsGrover(b *testing.B) {
+	// 12-qubit space, 64 stored patterns, query within distance 1 of one
+	// pattern.
+	n := 12
+	patterns := make([]int, 64)
+	rng := rand.New(rand.NewSource(23))
+	seen := map[int]bool{}
+	for i := range patterns {
+		for {
+			v := rng.Intn(1 << uint(n))
+			if !seen[v] {
+				seen[v] = true
+				patterns[i] = v
+				break
+			}
+		}
+	}
+	target := patterns[17]
+	query := target ^ 1 // distance 1
+	rows := ""
+	b.Run("qam", func(b *testing.B) {
+		var p float64
+		for i := 0; i < b.N; i++ {
+			mem, err := qam.Store(n, patterns)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := mem.Recall(query, 1, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p = res.SuccessProb
+		}
+		b.ReportMetric(p, "success")
+		rows += fmt.Sprintf("QAM recall     success %.3f (searches only the %d stored patterns)\n", p, len(patterns))
+	})
+	b.Run("grover", func(b *testing.B) {
+		var p float64
+		oracle := func(idx int) bool { return qam.HammingDistance(idx, query) <= 1 && idx == target }
+		for i := 0; i < b.N; i++ {
+			res, err := grover.Search(n, oracle, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p = res.SuccessProb
+		}
+		b.ReportMetric(p, "success")
+		rows += fmt.Sprintf("plain Grover   success %.3f (searches the full 2^%d space)\n", p, n)
+	})
+	report("Ablation QAM vs Grover", rows)
+}
+
+// QX gate fusion on single-qubit-heavy circuits.
+func BenchmarkAblation_GateFusion(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	c := circuit.New("rot-heavy", 10)
+	for q := 0; q < 10; q++ {
+		for k := 0; k < 40; k++ {
+			c.RZ(q, rng.Float64()).RX(q, rng.Float64())
+		}
+	}
+	for _, fusion := range []bool{false, true} {
+		fusion := fusion
+		name := "off"
+		if fusion {
+			name = "on"
+		}
+		b.Run("fusion_"+name, func(b *testing.B) {
+			sim := qx.New(25)
+			sim.EnableFusion = fusion
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunState(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	report("Ablation gate fusion", "timing comparison in the benchmark lines above\n")
+}
+
+// Keep qubo imported for the ablation file's QUBO-based benches.
+var _ = qubo.New

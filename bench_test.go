@@ -1,0 +1,554 @@
+// Benchmark harness: one benchmark per figure and quantitative claim of
+// the paper (experiment ids E1–E15, see DESIGN.md §4). Each benchmark
+// both times the relevant pipeline (b.N loop) and, once, prints the
+// series/rows the paper reports so EXPERIMENTS.md can be regenerated:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/algo"
+	"repro/internal/anneal"
+	"repro/internal/circuit"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/eqasm"
+	"repro/internal/genome"
+	"repro/internal/grover"
+	"repro/internal/microarch"
+	"repro/internal/openql"
+	"repro/internal/qaoa"
+	"repro/internal/qec"
+	"repro/internal/qubo"
+	"repro/internal/qx"
+	"repro/internal/rb"
+	"repro/internal/topology"
+	"repro/internal/tsp"
+)
+
+var printOnce sync.Map
+
+// report prints a table once per benchmark name, regardless of b.N
+// re-runs. Sub-benchmark rows accumulate across the framework's
+// calibration re-runs, so duplicate lines are folded while preserving
+// order.
+func report(name, text string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); loaded {
+		return
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !seen[line] {
+			seen[line] = true
+			out = append(out, line)
+		}
+	}
+	fmt.Printf("\n--- %s ---\n%s\n", name, strings.Join(out, "\n"))
+}
+
+func bellProgram() *openql.Program {
+	p := openql.NewProgram("bell", 2)
+	p.AddKernel(openql.NewKernel("entangle", 2).H(0).CNOT(0, 1).Measure(0).Measure(1))
+	return p
+}
+
+func ghzProgram(n int) *openql.Program {
+	p := openql.NewProgram(fmt.Sprintf("ghz%d", n), n)
+	k := openql.NewKernel("g", n).H(0)
+	for q := 1; q < n; q++ {
+		k.CNOT(q-1, q)
+	}
+	for q := 0; q < n; q++ {
+		k.Measure(q)
+	}
+	p.AddKernel(k)
+	return p
+}
+
+// E1 — Fig 1/Fig 3: heterogeneous host dispatching to quantum gate,
+// quantum annealing and classical accelerators.
+func BenchmarkE1_HeterogeneousOffload(b *testing.B) {
+	host := accel.DefaultSystem(4, 1)
+	q := qubo.New(4)
+	q.Set(0, 0, -1)
+	q.Set(0, 1, 2)
+	prog := bellProgram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := host.Offload(accel.CircuitTask{Program: prog, Shots: 64}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := host.Offload(accel.AnnealTask{Q: q}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := host.Offload(accel.ClassicalTask{Name: "pre", F: func() (interface{}, error) { return 1, nil }}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report("E1 heterogeneous offload", fmt.Sprintf(
+		"accelerators: %v\ndispatches logged: %d\n", host.Accelerators(), len(host.Log)))
+}
+
+// E2 — Fig 2: the same program on perfect vs realistic full stacks.
+func BenchmarkE2_PerfectVsRealistic(b *testing.B) {
+	prog := ghzProgram(4)
+	var perfGood, realGood float64
+	b.Run("perfect", func(b *testing.B) {
+		stack := core.NewPerfect(4, 5)
+		for i := 0; i < b.N; i++ {
+			rep, err := stack.Execute(prog, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			perfGood = float64(rep.Result.Counts[0]+rep.Result.Counts[15]) / 256
+		}
+		b.ReportMetric(perfGood, "fidelity")
+	})
+	b.Run("realistic", func(b *testing.B) {
+		stack := core.NewSuperconducting(5)
+		for i := 0; i < b.N; i++ {
+			rep, err := stack.Execute(prog, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			realGood = float64(rep.Result.Counts[0]+rep.Result.Counts[15]) / 256
+		}
+		b.ReportMetric(realGood, "fidelity")
+	})
+	report("E2 perfect vs realistic", fmt.Sprintf(
+		"GHZ-4 correlated-outcome fraction: perfect %.3f, realistic %.3f\n", perfGood, realGood))
+}
+
+// E3 — Fig 4: the compiler pipeline from OpenQL program to eQASM.
+func BenchmarkE3_CompilerPipeline(b *testing.B) {
+	qft := circuit.QFT(6, true)
+	prog := openql.NewProgram("qft6", 6)
+	k := openql.NewKernel("qft", 6)
+	for _, g := range qft.Gates {
+		k.Gate(g.Name, g.Qubits, g.Params...)
+	}
+	prog.AddKernel(k)
+	platform := compiler.Superconducting()
+	var compiled *openql.Compiled
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compiled, err = prog.Compile(openql.CompileOptions{
+			Mode:     openql.RealisticQubits,
+			Platform: platform,
+			Optimize: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report("E3 compiler pipeline", fmt.Sprintf(
+		"QFT-6 → %d primitive gates, %d swaps, makespan %d cycles, %d eQASM instructions\n",
+		len(compiled.Circuit.Gates), compiled.MapResult.AddedSwaps,
+		compiled.Schedule.Makespan, len(compiled.EQASM.Instrs)))
+}
+
+// E4 — Fig 5/6: eQASM execution on the micro-architecture, with
+// retargeting between the two microcode configurations.
+func BenchmarkE4_MicroarchExec(b *testing.B) {
+	group := rb.Group()
+	rng := rand.New(rand.NewSource(3))
+	seq, err := rb.Sequence(group, 16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	platform := compiler.Superconducting()
+	dec, err := compiler.Decompose(seq, platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := compiler.ScheduleCircuit(compiler.Optimize(dec), platform, compiler.ASAP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := eqasm.Assemble(sched, platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var results string
+	for _, cfg := range []*microarch.Config{microarch.SuperconductingConfig(), microarch.SemiconductingConfig()} {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			machine := microarch.New(cfg, qx.New(7))
+			var tr *microarch.Trace
+			for i := 0; i < b.N; i++ {
+				rep, err := machine.Execute(prog, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr = rep.Trace
+			}
+			b.ReportMetric(float64(tr.TotalNs), "ns/shot")
+			results += fmt.Sprintf("%-16s %4d pulses %7d ns  mw-util %.2f\n",
+				cfg.Name, len(tr.Pulses), tr.TotalNs, tr.Utilization(microarch.ChannelMicrowave))
+		})
+	}
+	report("E4 micro-architecture execution", results)
+}
+
+// E5 — Fig 7: the genome pipeline (QAM alignment) end to end.
+func BenchmarkE5_GenomePipeline(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	ref := genome.GenerateDNA(60, rng)
+	aligner, err := genome.NewQuantumAligner(ref, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads := genome.SampleReads(ref, 4, 16, 0.05, rng)
+	var success float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok := 0
+		for _, r := range reads {
+			res, err := aligner.Align(r.Seq, 1)
+			if err != nil {
+				continue
+			}
+			if ref[res.Position:res.Position+4] == r.Seq || res.Mismatches <= 1 {
+				ok++
+			}
+		}
+		success = float64(ok) / float64(len(reads))
+	}
+	b.StopTimer()
+	b.ReportMetric(success, "align-rate")
+	report("E5 genome pipeline", fmt.Sprintf(
+		"reference 60 bases, 16 noisy reads: quantum alignment rate %.2f (register %d qubits)\n",
+		success, aligner.IndexBits+aligner.DataBits))
+}
+
+// E6 — Fig 8/§3.3: hybrid optimisation — QAOA and annealing on the same
+// QUBO.
+func BenchmarkE6_HybridOptimisation(b *testing.B) {
+	q := qubo.New(6)
+	for i := 0; i < 6; i++ {
+		q.Set(i, i, -1)
+		q.Set(i, (i+1)%6, 2.2)
+	}
+	_, optE := q.BruteForce()
+	var qaoaE, sqaE float64
+	b.Run("qaoa_p2", func(b *testing.B) {
+		problem := qaoa.FromQUBO(q)
+		for i := 0; i < b.N; i++ {
+			res, err := qaoa.Solve(problem, qx.New(9), qaoa.Options{Layers: 2, Seed: 9, MaxIter: 80, GridSeeds: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			qaoaE = q.Energy(res.BestBits)
+		}
+		b.ReportMetric(qaoaE, "energy")
+	})
+	b.Run("sqa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := anneal.SolveQUBOQuantum(q, anneal.SQAOptions{Seed: 9})
+			sqaE = res.Energy
+		}
+		b.ReportMetric(sqaE, "energy")
+	})
+	report("E6 hybrid optimisation", fmt.Sprintf(
+		"6-spin ring: exact %.3f, QAOA p=2 %.3f, SQA %.3f\n", optE, qaoaE, sqaE))
+}
+
+// E7 — Fig 9: the 4-city Netherlands TSP; every solver must find the
+// 1.42 tour.
+func BenchmarkE7_TSPFig9(b *testing.B) {
+	g := tsp.Netherlands4()
+	enc := tsp.Encode(g, 0)
+	costOf := func(bits []int) float64 {
+		tour, err := enc.Decode(bits)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return g.TourCost(tour)
+	}
+	rows := ""
+	b.Run("exact", func(b *testing.B) {
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			_, cost = g.BruteForce()
+		}
+		b.ReportMetric(cost, "cost")
+		rows += fmt.Sprintf("exact enumeration    %.4f\n", cost)
+	})
+	b.Run("sa", func(b *testing.B) {
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			res := anneal.SolveQUBO(enc.Q, anneal.SAOptions{Sweeps: 2000, Restarts: 8, Seed: 7})
+			cost = costOf(res.Bits)
+		}
+		b.ReportMetric(cost, "cost")
+		rows += fmt.Sprintf("simulated annealing  %.4f\n", cost)
+	})
+	b.Run("sqa", func(b *testing.B) {
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			res := anneal.SolveQUBOQuantum(enc.Q, anneal.SQAOptions{Sweeps: 1500, Trotter: 8, Restarts: 6, Seed: 7})
+			cost = costOf(res.Bits)
+		}
+		b.ReportMetric(cost, "cost")
+		rows += fmt.Sprintf("simulated quantum    %.4f\n", cost)
+	})
+	b.Run("digital", func(b *testing.B) {
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			res := anneal.DigitalAnneal(enc.Q, anneal.DigitalAnnealerOptions{Steps: 30000, Seed: 7})
+			cost = costOf(res.Bits)
+		}
+		b.ReportMetric(cost, "cost")
+		rows += fmt.Sprintf("digital annealer     %.4f\n", cost)
+	})
+	report("E7 TSP Fig 9 (paper optimum 1.42, 16 qubits)", rows)
+}
+
+// E8 — §2.7: QX scaling with qubit count (the "35 fully-entangled qubits
+// on a laptop" capacity claim; memory doubles per qubit).
+func BenchmarkE8_QXScaling(b *testing.B) {
+	rows := ""
+	for _, n := range []int{10, 14, 18, 20, 22} {
+		n := n
+		b.Run(fmt.Sprintf("ghz%d", n), func(b *testing.B) {
+			sim := qx.New(1)
+			c := circuit.GHZ(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunState(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			amps := 1 << uint(n)
+			rows += fmt.Sprintf("n=%2d  amplitudes %10d  state %8.1f MiB\n",
+				n, amps, float64(amps)*16/(1<<20))
+		})
+	}
+	report("E8 QX scaling (state memory doubles per qubit; 35q ≈ 512 GiB server-class)", rows)
+}
+
+// E9 — §2.1/§2.7: error-rate sweep on realistic qubits, from today's
+// 10⁻² to the 10⁻⁵/10⁻⁶ the paper says must be understood.
+func BenchmarkE9_ErrorRateSweep(b *testing.B) {
+	rows := ""
+	ghz := circuit.GHZ(5)
+	for _, p := range []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5} {
+		p := p
+		b.Run(fmt.Sprintf("p%g", p), func(b *testing.B) {
+			var fidelity float64
+			for i := 0; i < b.N; i++ {
+				sim := qx.NewNoisy(11, qx.Depolarizing(p))
+				res, err := sim.Run(ghz, 400)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fidelity = float64(res.Counts[0]+res.Counts[31]) / 400
+			}
+			b.ReportMetric(fidelity, "fidelity")
+			rows += fmt.Sprintf("p=%-8g GHZ-5 fidelity %.3f\n", p, fidelity)
+		})
+	}
+	report("E9 error-rate sweep", rows)
+}
+
+// E10 — §Background: QEC consumes >90 % of computational activity;
+// logical error rates improve with distance below threshold.
+func BenchmarkE10_QECOverhead(b *testing.B) {
+	rows := ""
+	rng := rand.New(rand.NewSource(13))
+	for _, d := range []int{3, 5} {
+		d := d
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) {
+			sc, err := qec.NewSurfaceCode(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var logical float64
+			for i := 0; i < b.N; i++ {
+				logical = sc.LogicalErrorRate(0.01, 2000, rng)
+			}
+			ops := sc.ESMCycleOps()
+			frac := qec.OverheadFraction(ops, 1, 1)
+			b.ReportMetric(logical, "logical-err")
+			rows += fmt.Sprintf("d=%d  ESM ops/round %3d  QEC fraction %.3f  logical error @p=0.01: %.4f\n",
+				d, ops, frac, logical)
+		})
+	}
+	report("E10 QEC overhead (paper: >90% of activity; smaller logical error with d)", rows)
+}
+
+// E11 — §2.3: Grover is quadratically better; the crossover grows with
+// the database size.
+func BenchmarkE11_GroverCrossover(b *testing.B) {
+	rows := ""
+	for _, n := range []int{6, 10, 14, 18} {
+		n := n
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			dim := 1 << uint(n)
+			target := dim - 2
+			oracle := func(idx int) bool { return idx == target }
+			var quantumIters int
+			for i := 0; i < b.N; i++ {
+				quantumIters = grover.OptimalIterations(dim, 1)
+				if n <= 14 {
+					if _, err := grover.Search(n, oracle, quantumIters); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			classical := dim / 2
+			b.ReportMetric(float64(classical)/float64(quantumIters), "speedup")
+			rows += fmt.Sprintf("N=2^%-2d classical ≈%8d queries, Grover %5d iterations, advantage %7.1f×\n",
+				n, classical, quantumIters, float64(classical)/float64(quantumIters))
+		})
+	}
+	report("E11 Grover crossover (quadratic speedup shape)", rows)
+}
+
+// E12 — §3.3: embedding capacity — N² qubit growth, 9-ish cities max on
+// a 2000Q-class Chimera, 90 on a fully-connected 8192-node annealer.
+func BenchmarkE12_EmbeddingCapacity(b *testing.B) {
+	rows := ""
+	for _, n := range []int{3, 4, 5, 6, 8} {
+		n := n
+		b.Run(fmt.Sprintf("cities%d", n), func(b *testing.B) {
+			vars := n * n
+			var e *embed.Embedding
+			var err error
+			for i := 0; i < b.N; i++ {
+				e, err = embed.CliqueEmbedChimera(vars, 16, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(e.PhysicalQubits()), "phys-qubits")
+			rows += fmt.Sprintf("%d cities → %3d logical → %4d physical qubits (max chain %2d)\n",
+				n, vars, e.PhysicalQubits(), e.MaxChainLength())
+		})
+	}
+	cap2000q := embed.CliqueCapacityChimera(16, 4)
+	rows += fmt.Sprintf("2000Q clique capacity %d vars → max %d cities (paper: 9; 10 must fail)\n",
+		cap2000q, tsp.MaxCitiesForQubits(cap2000q))
+	if _, err := embed.CliqueEmbedChimera(100, 16, 4); err == nil {
+		b.Fatal("10 cities should not embed")
+	}
+	rows += fmt.Sprintf("fully-connected 8192 nodes → max %d cities (paper: 90)\n",
+		tsp.MaxCitiesForQubits(8192))
+	report("E12 embedding capacity", rows)
+}
+
+// E13 — §2.3: ≈150 logical qubits for genome-scale search.
+func BenchmarkE13_GenomeQubitModel(b *testing.B) {
+	rows := ""
+	var est int
+	for i := 0; i < b.N; i++ {
+		for _, g := range []struct {
+			name string
+			size int
+			read int
+		}{
+			{"E. coli", 4_600_000, 50},
+			{"human chr21", 46_700_000, 50},
+			{"human genome", 3_100_000_000, 50},
+		} {
+			est = genome.LogicalQubitEstimate(g.size, g.read)
+			if i == 0 {
+				rows += fmt.Sprintf("%-14s %12d bases → %3d logical qubits\n", g.name, g.size, est)
+			}
+		}
+	}
+	b.ReportMetric(float64(est), "qubits")
+	report("E13 genome qubit model (paper: ≈150 for the human genome)", rows)
+}
+
+// E14 — Fig 10: the development-timeline projection, generated by a
+// deterministic TRL logistic model for the two tracks.
+func BenchmarkE14_TRLProjection(b *testing.B) {
+	trl := func(year, midpoint, rate float64) float64 {
+		return 1 + 7/(1+math.Exp(-rate*(year-midpoint)))
+	}
+	rows := "year  accelerator(perfect)  chip(realistic)\n"
+	var acc, chip float64
+	for i := 0; i < b.N; i++ {
+		rows = "year  accelerator(perfect)  chip(realistic)\n"
+		for year := 2019; year <= 2035; year += 2 {
+			acc = trl(float64(year), 2026, 0.55)  // software/accelerator track
+			chip = trl(float64(year), 2031, 0.45) // hardware track matures later
+			rows += fmt.Sprintf("%d %12.1f %18.1f\n", year, acc, chip)
+		}
+	}
+	b.ReportMetric(acc-chip, "trl-gap-2035")
+	report("E14 TRL projection (accelerator track reaches TRL 8 first)", rows)
+}
+
+// E15 — §2.6: mapping overhead under nearest-neighbour constraints
+// across topologies.
+func BenchmarkE15_MappingOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	c := circuit.RandomCircuit(9, 6, rng)
+	topos := []struct {
+		name string
+		topo *topology.Topology
+	}{
+		{"all-to-all", nil},
+		{"grid3x3", topology.Grid(3, 3)},
+		{"linear9", topology.Linear(9)},
+	}
+	rows := ""
+	for _, tc := range topos {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			n := 9
+			platform := &compiler.Platform{Name: tc.name, NumQubits: n, Topology: tc.topo,
+				Gates: map[string]compiler.GateInfo{}}
+			if tc.topo != nil {
+				platform.NumQubits = tc.topo.N
+			}
+			var mr *compiler.MapResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				mr, err = compiler.MapCircuit(c, platform, compiler.MapOptions{Lookahead: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(mr.AddedSwaps), "swaps")
+			rows += fmt.Sprintf("%-12s swaps %3d  latency factor %.2f\n",
+				tc.name, mr.AddedSwaps, mr.LatencyFactor)
+		})
+	}
+	report("E15 mapping overhead (NN constraint cost)", rows)
+}
+
+// E16 — §2.3: the cryptography motivation — Shor's algorithm factors a
+// small RSA-style modulus via quantum order finding.
+func BenchmarkE16_ShorFactoring(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var res *algo.FactorResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = algo.Factor(15, 6, 20, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Attempts), "attempts")
+	report("E16 Shor factoring", fmt.Sprintf(
+		"N=15 → %d × %d (base a=%d, order %d, %d attempts; 10-qubit register)\n",
+		res.Factors[0], res.Factors[1], res.A, res.Order, res.Attempts))
+}

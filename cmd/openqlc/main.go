@@ -1,0 +1,124 @@
+// Command openqlc is the quantum compiler driver: it reads cQASM,
+// decomposes to a platform's primitive gate set, optimises, maps to the
+// qubit-plane topology, schedules, and emits cQASM or eQASM — the §2.4
+// compiler flow as a tool.
+//
+// Usage:
+//
+//	openqlc [-platform name|-config file.json] [-emit cqasm|eqasm]
+//	        [-schedule asap|alap] [-opt] [-lookahead] file.cq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compiler"
+	"repro/internal/cqasm"
+	"repro/internal/eqasm"
+)
+
+func main() {
+	platformName := flag.String("platform", "superconducting", "target platform: perfect, superconducting, semiconducting")
+	configPath := flag.String("config", "", "platform JSON config (overrides -platform)")
+	emit := flag.String("emit", "cqasm", "output format: cqasm or eqasm")
+	schedule := flag.String("schedule", "asap", "scheduling policy: asap or alap")
+	opt := flag.Bool("opt", true, "run the peephole optimiser")
+	lookahead := flag.Bool("lookahead", false, "use lookahead routing")
+	stats := flag.Bool("stats", true, "print compilation statistics to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: openqlc [flags] file.cq")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	c, err := cqasm.ParseToCircuit(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	var platform *compiler.Platform
+	switch {
+	case *configPath != "":
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		platform, err = compiler.LoadPlatform(data)
+		if err != nil {
+			fatal(err)
+		}
+	case *platformName == "perfect":
+		platform = compiler.Perfect(c.NumQubits)
+	case *platformName == "superconducting":
+		platform = compiler.Superconducting()
+	case *platformName == "semiconducting":
+		platform = compiler.Semiconducting()
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platformName))
+	}
+
+	dec, err := compiler.Decompose(c, platform)
+	if err != nil {
+		fatal(err)
+	}
+	if *opt {
+		dec = compiler.Optimize(dec)
+	}
+	var mapped = dec
+	if platform.Topology != nil {
+		mr, err := compiler.MapCircuit(dec, platform, compiler.MapOptions{Lookahead: *lookahead})
+		if err != nil {
+			fatal(err)
+		}
+		mapped = mr.Circuit
+		if !platform.Supports("swap") {
+			mapped, err = compiler.Decompose(mapped, platform)
+			if err != nil {
+				fatal(err)
+			}
+			if *opt {
+				mapped = compiler.Optimize(mapped)
+			}
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "mapping: %d swaps inserted, latency factor %.2f\n",
+				mr.AddedSwaps, mr.LatencyFactor)
+		}
+	}
+	policy := compiler.ASAP
+	if *schedule == "alap" {
+		policy = compiler.ALAP
+	}
+	sched, err := compiler.ScheduleCircuit(mapped, platform, policy)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "schedule: %d gates, makespan %d cycles (%d ns)\n",
+			len(sched.Gates), sched.Makespan, sched.Makespan*platform.CycleTimeNs)
+	}
+
+	switch *emit {
+	case "cqasm":
+		fmt.Print(cqasm.PrintCircuit(mapped))
+	case "eqasm":
+		prog, err := eqasm.Assemble(sched, platform)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.String())
+	default:
+		fatal(fmt.Errorf("unknown emit format %q", *emit))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "openqlc:", err)
+	os.Exit(1)
+}

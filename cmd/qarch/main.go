@@ -1,0 +1,85 @@
+// Command qarch executes eQASM programs on the micro-architecture
+// simulator (Fig 5/6): microcode expansion, nanosecond timing, pulse
+// trace, and measurement statistics from the QX backend.
+//
+// Usage:
+//
+//	qarch [-config superconducting|semiconducting] [-shots N] [-seed S]
+//	      [-noise] [-pulses] file.eqasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eqasm"
+	"repro/internal/microarch"
+	"repro/internal/qx"
+)
+
+func main() {
+	configName := flag.String("config", "superconducting", "microcode config: superconducting or semiconducting")
+	shots := flag.Int("shots", 1024, "measurement shots")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	noisy := flag.Bool("noise", false, "use the realistic (noisy) qubit backend")
+	pulses := flag.Bool("pulses", false, "dump the pulse trace")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qarch [flags] file.eqasm")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := eqasm.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	var cfg *microarch.Config
+	switch *configName {
+	case "superconducting":
+		cfg = microarch.SuperconductingConfig()
+	case "semiconducting":
+		cfg = microarch.SemiconductingConfig()
+	default:
+		fatal(fmt.Errorf("unknown config %q", *configName))
+	}
+	var backend *qx.Simulator
+	if *noisy {
+		backend = qx.NewNoisy(*seed, qx.Superconducting())
+	} else {
+		backend = qx.New(*seed)
+	}
+	machine := microarch.New(cfg, backend)
+	report, err := machine.Execute(prog, *shots)
+	if err != nil {
+		fatal(err)
+	}
+	tr := report.Trace
+	fmt.Printf("config: %s, instructions: %d, events: %d\n", tr.Config, tr.InstrCount, tr.EventCount)
+	fmt.Printf("cycles: %d (%d ns), pulses: %d, max queue fill: %d\n",
+		tr.TotalCycles, tr.TotalNs, len(tr.Pulses), tr.MaxQueueFill)
+	for _, kind := range []microarch.ChannelKind{microarch.ChannelMicrowave, microarch.ChannelFlux, microarch.ChannelMeasure} {
+		fmt.Printf("channel %-4s busy %6d ns, utilization %.1f%%\n",
+			kind, tr.ChannelBusyNs[kind], 100*tr.Utilization(kind))
+	}
+	if *pulses {
+		for _, p := range tr.Pulses {
+			fmt.Printf("t=%6dns q%-2d %-4s cw=%-3d dur=%dns\n",
+				p.StartNs, p.Qubit, p.Channel, p.Codeword, p.DurationNs)
+		}
+	}
+	if report.Result != nil {
+		fmt.Println("measurement histogram:")
+		fmt.Print(report.Result.Histogram())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qarch:", err)
+	os.Exit(1)
+}

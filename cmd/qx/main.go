@@ -1,0 +1,69 @@
+// Command qx executes cQASM files on the QX simulator with perfect or
+// realistic qubits, mirroring the execution layer of the paper's stack.
+//
+// Usage:
+//
+//	qx [-shots N] [-seed S] [-depolarizing P] [-readout P] [-state] file.cq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cqasm"
+	"repro/internal/qx"
+)
+
+func main() {
+	shots := flag.Int("shots", 1024, "number of measurement shots")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	depol := flag.Float64("depolarizing", 0, "per-gate depolarizing probability (realistic qubits)")
+	readout := flag.Float64("readout", 0, "readout flip probability")
+	showState := flag.Bool("state", false, "print the final state vector (perfect, measurement-free circuits)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qx [flags] file.cq")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	c, err := cqasm.ParseToCircuit(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	var sim *qx.Simulator
+	if *depol > 0 || *readout > 0 {
+		noise := qx.Depolarizing(*depol)
+		noise.ReadoutError = *readout
+		sim = qx.NewNoisy(*seed, noise)
+		fmt.Printf("mode: realistic qubits (depolarizing %.2g, readout %.2g)\n", *depol, *readout)
+	} else {
+		sim = qx.New(*seed)
+		fmt.Println("mode: perfect qubits")
+	}
+
+	if *showState {
+		st, err := sim.RunState(c)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(st)
+		return
+	}
+	res, err := sim.Run(c, *shots)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("qubits: %d, gates: %d, shots: %d\n", c.NumQubits, c.GateCount(), res.Shots)
+	fmt.Print(res.Histogram())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qx:", err)
+	os.Exit(1)
+}

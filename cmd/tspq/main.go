@@ -1,0 +1,93 @@
+// Command tspq solves Travelling Salesman instances with every solver in
+// the optimisation stack (§3.3): exact enumeration, classical heuristics,
+// simulated annealing, simulated quantum annealing, the digital annealer
+// and gate-based QAOA, and reports the embedding cost on a D-Wave-style
+// Chimera topology.
+//
+// Usage:
+//
+//	tspq [-cities N] [-seed S] [-fig9] [-qaoa]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/anneal"
+	"repro/internal/embed"
+	"repro/internal/qaoa"
+	"repro/internal/qx"
+	"repro/internal/tsp"
+)
+
+func main() {
+	cities := flag.Int("cities", 4, "number of random cities (ignored with -fig9)")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	fig9 := flag.Bool("fig9", true, "use the paper's Fig 9 Netherlands instance")
+	runQAOA := flag.Bool("qaoa", true, "also run gate-based QAOA (16-qubit simulation for 4 cities)")
+	flag.Parse()
+
+	var g *tsp.Graph
+	if *fig9 {
+		g = tsp.Netherlands4()
+		fmt.Println("instance: Fig 9 — 4 Dutch cities, scaled Euclidean distances")
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		points := make([][2]float64, *cities)
+		for i := range points {
+			points[i] = [2]float64{rng.Float64(), rng.Float64()}
+		}
+		g = tsp.FromPoints(points, 1)
+		fmt.Printf("instance: %d random cities\n", *cities)
+	}
+
+	tour, cost := g.BruteForce()
+	fmt.Printf("%-22s tour %v cost %.4f\n", "exact enumeration:", tour, cost)
+
+	nnTour, nnCost := g.NearestNeighbor(0)
+	fmt.Printf("%-22s tour %v cost %.4f\n", "nearest neighbour:", nnTour, nnCost)
+	toTour, toCost := g.TwoOpt(nnTour)
+	fmt.Printf("%-22s tour %v cost %.4f\n", "2-opt:", toTour, toCost)
+
+	enc := tsp.Encode(g, 0)
+	fmt.Printf("QUBO: %d variables (N², the paper's quadratic growth)\n", enc.NumQubits())
+
+	report := func(name string, bits []int) {
+		t, err := enc.Decode(bits)
+		if err != nil {
+			fmt.Printf("%-22s infeasible (%v)\n", name+":", err)
+			return
+		}
+		fmt.Printf("%-22s tour %v cost %.4f\n", name+":", t, g.TourCost(t))
+	}
+	sa := anneal.SolveQUBO(enc.Q, anneal.SAOptions{Sweeps: 2000, Restarts: 8, Seed: *seed})
+	report("simulated annealing", sa.Bits)
+	sqa := anneal.SolveQUBOQuantum(enc.Q, anneal.SQAOptions{Sweeps: 1500, Trotter: 8, Restarts: 6, Seed: *seed})
+	report("simulated quantum", sqa.Bits)
+	da := anneal.DigitalAnneal(enc.Q, anneal.DigitalAnnealerOptions{Steps: 30000, Seed: *seed})
+	report("digital annealer", da.Bits)
+
+	// Embedding cost on the 2000Q-style Chimera.
+	adj := enc.Q.InteractionGraph()
+	if e, err := embed.AutoEmbedChimera(adj, 16, 4, *seed); err == nil {
+		fmt.Printf("chimera embedding: %d logical → %d physical qubits (max chain %d)\n",
+			enc.NumQubits(), e.PhysicalQubits(), e.MaxChainLength())
+	} else {
+		fmt.Printf("chimera embedding failed: %v\n", err)
+	}
+	fmt.Printf("capacity: %d-city max on 2000Q-class clique capacity %d; 90 cities on 8192 fully-connected nodes\n",
+		tsp.MaxCitiesForQubits(embed.CliqueCapacityChimera(16, 4)), embed.CliqueCapacityChimera(16, 4))
+
+	if *runQAOA && g.N <= 4 {
+		fmt.Println("running QAOA p=2 on the 16-qubit QUBO (gate-based accelerator)...")
+		problem := qaoa.FromQUBO(enc.Q)
+		res, err := qaoa.Solve(problem, qx.New(*seed), qaoa.Options{Layers: 2, Seed: *seed, MaxIter: 60, GridSeeds: 4})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qaoa:", err)
+			return
+		}
+		report("qaoa (best sample)", res.BestBits)
+	}
+}

@@ -1,0 +1,20 @@
+// Package repro is a full-stack quantum accelerator in Go, reproducing
+// "Quantum Computer Architecture: Towards Full-Stack Quantum
+// Accelerators" (Bertels et al., DATE 2020).
+//
+// The stack spans every layer of the paper: the OpenQL-style programming
+// API (internal/openql), the cQASM common assembly (internal/cqasm), the
+// compiler with decomposition/optimisation/mapping/scheduling
+// (internal/compiler), the eQASM executable ISA (internal/eqasm), the
+// micro-architecture with microcode, timing control and queues
+// (internal/microarch), and the QX simulator with perfect and realistic
+// qubits (internal/qx). On top sit the paper's three accelerators:
+// the superconducting control stack (internal/core, internal/rb),
+// quantum genome sequencing (internal/genome, internal/qam,
+// internal/grover), and hybrid optimisation (internal/tsp, internal/qubo,
+// internal/anneal, internal/embed, internal/qaoa).
+//
+// The benchmark harness in bench_test.go regenerates every figure and
+// quantitative claim of the paper; see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,152 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/core"
+	"repro/internal/openql"
+	"repro/internal/qubo"
+	"repro/internal/tsp"
+)
+
+func TestHostOffloadCircuit(t *testing.T) {
+	h := DefaultSystem(4, 1)
+	p := openql.NewProgram("bell", 2)
+	p.AddKernel(openql.NewKernel("k", 2).H(0).CNOT(0, 1).MeasureAll())
+	out, err := h.Offload(CircuitTask{Program: p, Shots: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := out.(*core.Report)
+	if !ok {
+		t.Fatalf("unexpected result type %T", out)
+	}
+	if rep.Result.Shots != 500 {
+		t.Error("shots lost")
+	}
+	if len(h.Log) != 1 || h.Log[0].TaskKind != "quantum-circuit" {
+		t.Errorf("dispatch log wrong: %+v", h.Log)
+	}
+}
+
+func TestHostOffloadAnneal(t *testing.T) {
+	h := DefaultSystem(2, 2)
+	q := qubo.New(3)
+	q.Set(0, 0, -1)
+	q.Set(1, 1, -1)
+	q.Set(0, 1, 3)
+	out, err := h.Offload(AnnealTask{Q: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := out.(*anneal.Result)
+	if !ok {
+		t.Fatalf("unexpected result type %T", out)
+	}
+	_, wantE := q.BruteForce()
+	if math.Abs(res.Energy-wantE) > 1e-9 {
+		t.Errorf("annealer energy %v, want %v", res.Energy, wantE)
+	}
+}
+
+func TestHostOffloadClassical(t *testing.T) {
+	h := DefaultSystem(2, 3)
+	out, err := h.Offload(ClassicalTask{Name: "sum", F: func() (interface{}, error) {
+		return 41 + 1, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(int) != 42 {
+		t.Error("classical task result wrong")
+	}
+}
+
+func TestHostRejectsUnknownTask(t *testing.T) {
+	h := NewHost()
+	if _, err := h.Offload(ClassicalTask{F: func() (interface{}, error) { return nil, nil }}); err == nil {
+		t.Error("empty host accepted a task")
+	}
+}
+
+func TestAcceleratorsListing(t *testing.T) {
+	h := DefaultSystem(2, 4)
+	names := h.Accelerators()
+	if len(names) != 4 {
+		t.Fatalf("accelerators = %v", names)
+	}
+}
+
+func TestDigitalAnnealerPreferredWhenFirst(t *testing.T) {
+	h := NewHost()
+	h.Register(&AnnealAccelerator{Digital: true, DA: anneal.DigitalAnnealerOptions{Seed: 5, Steps: 2000}})
+	q := qubo.New(4)
+	q.Set(0, 0, -2)
+	out, err := h.Offload(AnnealTask{Q: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Log[0].Accelerator != "digital-annealer" {
+		t.Errorf("dispatched to %s", h.Log[0].Accelerator)
+	}
+	if out.(*anneal.Result).Bits[0] != 1 {
+		t.Error("wrong solution")
+	}
+}
+
+func TestHybridLoopSolvesTSP(t *testing.T) {
+	// Fig 8: classical logic proposes annealing tasks until a feasible
+	// optimal tour is found.
+	g := tsp.Netherlands4()
+	enc := tsp.Encode(g, 0)
+	h := NewHost()
+	h.Register(&AnnealAccelerator{SQA: anneal.SQAOptions{Sweeps: 1500, Trotter: 8, Restarts: 6, Seed: 7}})
+
+	propose := func(iter int, prev interface{}) (Task, error) {
+		return AnnealTask{Q: enc.Q}, nil
+	}
+	done := func(result interface{}) bool {
+		res := result.(*anneal.Result)
+		tour, err := enc.Decode(res.Bits)
+		if err != nil {
+			return false
+		}
+		return math.Abs(g.TourCost(tour)-1.42) < 1e-9
+	}
+	out, iters, err := h.HybridLoop(10, propose, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters > 10 {
+		t.Error("loop overran")
+	}
+	res := out.(*anneal.Result)
+	tour, err := enc.Decode(res.Bits)
+	if err != nil {
+		t.Fatalf("final result infeasible: %v", err)
+	}
+	if math.Abs(g.TourCost(tour)-1.42) > 1e-9 {
+		t.Errorf("final tour cost %v", g.TourCost(tour))
+	}
+}
+
+func TestHybridLoopProposeError(t *testing.T) {
+	h := DefaultSystem(2, 8)
+	_, _, err := h.HybridLoop(3, func(int, interface{}) (Task, error) {
+		return nil, fmt.Errorf("boom")
+	}, func(interface{}) bool { return true })
+	if err == nil {
+		t.Error("propose error swallowed")
+	}
+}
+
+func TestDispatchTiming(t *testing.T) {
+	h := DefaultSystem(2, 9)
+	_, _ = h.Offload(ClassicalTask{Name: "noop", F: func() (interface{}, error) { return nil, nil }})
+	if len(h.Log) != 1 || h.Log[0].Elapsed < 0 {
+		t.Error("dispatch timing not recorded")
+	}
+}

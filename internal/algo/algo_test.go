@@ -1,0 +1,207 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/qx"
+)
+
+func TestTeleportBasisStates(t *testing.T) {
+	sim := qx.New(1)
+	// Teleport |1>: Bob must always measure 1.
+	c := Teleport(func(c *circuit.Circuit) { c.X(0) })
+	c.Measure(2)
+	res, err := sim.Run(c, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, count := range res.Counts {
+		if idx&(1<<2) == 0 && count > 0 {
+			t.Fatalf("teleported |1> measured as 0 (%d times)", count)
+		}
+	}
+}
+
+func TestTeleportSuperposition(t *testing.T) {
+	sim := qx.New(2)
+	// Teleport cos(θ/2)|0> + sin(θ/2)|1> with P(1) = 0.2.
+	theta := 2 * math.Asin(math.Sqrt(0.2))
+	c := Teleport(func(c *circuit.Circuit) { c.RY(0, theta) })
+	c.Measure(2)
+	res, err := sim.Run(c, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	for idx, count := range res.Counts {
+		if idx&(1<<2) != 0 {
+			ones += count
+		}
+	}
+	p := float64(ones) / 8000
+	if math.Abs(p-0.2) > 0.03 {
+		t.Errorf("teleported P(1) = %v, want ≈0.2", p)
+	}
+}
+
+// Property: teleportation preserves arbitrary RY/RZ-prepared payloads.
+func TestTeleportProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		sim := qx.New(seed)
+		theta := float64(seed%628) / 100
+		c := Teleport(func(c *circuit.Circuit) { c.RY(0, theta).RZ(0, theta/2) })
+		c.Measure(2)
+		res, err := sim.Run(c, 4000)
+		if err != nil {
+			return false
+		}
+		ones := 0
+		for idx, count := range res.Counts {
+			if idx&(1<<2) != 0 {
+				ones += count
+			}
+		}
+		want := math.Pow(math.Sin(theta/2), 2)
+		return math.Abs(float64(ones)/4000-want) < 0.04
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTeleportWithoutCorrectionsFails(t *testing.T) {
+	// Dropping the feed-forward corrections must break teleportation —
+	// this guards against the conditional gates silently not firing.
+	sim := qx.New(3)
+	c := circuit.New("broken", 3)
+	c.X(0)
+	c.H(1).CNOT(1, 2)
+	c.CNOT(0, 1).H(0)
+	c.Measure(0).Measure(1)
+	c.Measure(2)
+	res, err := sim.Run(c, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for idx, count := range res.Counts {
+		if idx&(1<<2) == 0 {
+			wrong += count
+		}
+	}
+	if wrong == 0 {
+		t.Error("uncorrected teleport should sometimes yield 0")
+	}
+}
+
+func TestDeutschJozsaConstant(t *testing.T) {
+	sim := qx.New(4)
+	for _, f := range []func(int) bool{
+		func(int) bool { return false },
+		func(int) bool { return true },
+	} {
+		c := DeutschJozsa(3, f)
+		res, err := sim.Run(c, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counts[0] != 200 {
+			t.Errorf("constant oracle should always measure 0: %v", res.Counts)
+		}
+	}
+}
+
+func TestDeutschJozsaBalanced(t *testing.T) {
+	sim := qx.New(5)
+	balanced := []func(int) bool{
+		func(x int) bool { return x&1 == 1 },
+		func(x int) bool { return (x>>1)&1 == 1 },
+		func(x int) bool { return (x&1)^((x>>2)&1) == 1 },
+	}
+	for i, f := range balanced {
+		c := DeutschJozsa(3, f)
+		res, err := sim.Run(c, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counts[0] != 0 {
+			t.Errorf("balanced oracle %d measured 0 %d times", i, res.Counts[0])
+		}
+	}
+}
+
+func TestBernsteinVazirani(t *testing.T) {
+	sim := qx.New(6)
+	for _, secret := range []int{0, 1, 5, 7, 12, 15} {
+		c := BernsteinVazirani(4, secret)
+		res, err := sim.Run(c, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Inputs (bits 0..3) must equal the secret on every shot.
+		for idx, count := range res.Counts {
+			if idx&0xF != secret && count > 0 {
+				t.Errorf("secret %d: measured inputs %d", secret, idx&0xF)
+			}
+		}
+	}
+}
+
+func TestBernsteinVaziraniPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range secret accepted")
+		}
+	}()
+	BernsteinVazirani(2, 9)
+}
+
+func TestPhaseEstimationExact(t *testing.T) {
+	sim := qx.New(7)
+	// φ = 3/8 is exactly representable with 3 counting qubits.
+	c := PhaseEstimation(3, 3.0/8)
+	res, err := sim.Run(c, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, count := range res.Counts {
+		if idx&0x7 != 3 && count > 0 {
+			t.Errorf("QPE of 3/8 measured %d (%d times)", idx&0x7, count)
+		}
+	}
+}
+
+func TestPhaseEstimationApproximate(t *testing.T) {
+	sim := qx.New(8)
+	// φ = 0.3 is not exactly representable; the mode must be the nearest
+	// 4-bit value round(0.3·16) = 5.
+	c := PhaseEstimation(4, 0.3)
+	res, err := sim.Run(c, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestCount := -1, 0
+	for idx, count := range res.Counts {
+		if count > bestCount {
+			best, bestCount = idx&0xF, count
+		}
+	}
+	if best != 5 {
+		t.Errorf("QPE mode = %d, want 5", best)
+	}
+	if float64(bestCount)/2000 < 0.4 {
+		t.Errorf("mode probability %v too low", float64(bestCount)/2000)
+	}
+}
+
+func TestOracleSynthesisGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n>3 oracle accepted")
+		}
+	}()
+	DeutschJozsa(4, func(int) bool { return false })
+}

@@ -1,0 +1,238 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/quantum"
+)
+
+// Shor's algorithm (§2.3: "Shor's factorisation showed that potentially
+// a quantum computer can break any RSA-based encryption"). The quantum
+// core is order finding: quantum phase estimation over the modular
+// multiplication unitary U|y> = |a·y mod N>, followed by classical
+// continued-fraction post-processing. The simulation applies the exact
+// controlled permutation unitaries at state level, which is what a
+// perfect-qubit accelerator would execute.
+
+// modMulUnitary builds the permutation matrix of U|y> = |a·y mod N> over
+// n qubits (states y ≥ N map to themselves).
+func modMulUnitary(a, n, modN int) quantum.Matrix {
+	dim := 1 << uint(n)
+	m := quantum.NewMatrix(dim)
+	for y := 0; y < dim; y++ {
+		if y < modN {
+			m.Set((a*y)%modN, y, 1)
+		} else {
+			m.Set(y, y, 1)
+		}
+	}
+	return m
+}
+
+// controlled lifts a unitary to its controlled version with the control
+// on operand bit 0 and the target register on bits 1..n.
+func controlled(u quantum.Matrix) quantum.Matrix {
+	dim := u.N * 2
+	m := quantum.NewMatrix(dim)
+	for col := 0; col < dim; col++ {
+		ctrl := col & 1
+		y := col >> 1
+		if ctrl == 0 {
+			m.Set(col, col, 1)
+			continue
+		}
+		for row := 0; row < u.N; row++ {
+			v := u.At(row, y)
+			if v != 0 {
+				m.Set(row<<1|1, col, v)
+			}
+		}
+	}
+	return m
+}
+
+// OrderResult reports one order-finding run.
+type OrderResult struct {
+	A, N      int
+	Order     int // recovered order r with a^r ≡ 1 mod N (0 if not found)
+	Measured  int // raw counting-register outcome
+	Countbits int
+}
+
+// FindOrder runs quantum order finding for a modulo N with t counting
+// qubits, measuring once. It applies QPE over U_a and extracts the order
+// by continued fractions. The register is t + ⌈log₂N⌉ qubits.
+func FindOrder(a, N, t int, rng *rand.Rand) (*OrderResult, error) {
+	if gcd(a, N) != 1 {
+		return nil, fmt.Errorf("algo: a=%d shares a factor with N=%d", a, N)
+	}
+	n := bitsFor(N)
+	total := t + n
+	if total > 24 {
+		return nil, fmt.Errorf("algo: %d qubits exceeds simulation bound", total)
+	}
+	s := quantum.NewState(total)
+	// Counting register qubits 0..t-1 in uniform superposition; work
+	// register (qubits t..t+n-1) initialised to |1>.
+	for q := 0; q < t; q++ {
+		s.ApplyOne(quantum.H, q)
+	}
+	s.ApplyOne(quantum.X, t)
+
+	// Controlled-U^{2^q} with control on counting qubit q. U^{2^q} is the
+	// modular multiplication by a^{2^q} mod N.
+	aPow := a % N
+	for q := 0; q < t; q++ {
+		u := modMulUnitary(aPow, n, N)
+		cu := controlled(u)
+		operands := make([]int, 0, n+1)
+		operands = append(operands, q)
+		for w := 0; w < n; w++ {
+			operands = append(operands, t+w)
+		}
+		s.Apply(cu, operands...)
+		aPow = (aPow * aPow) % N
+	}
+
+	// Inverse QFT on the counting register, then measure it.
+	applyInverseQFTState(s, t)
+	measured := 0
+	for q := 0; q < t; q++ {
+		if s.MeasureQubit(q, rng) == 1 {
+			measured |= 1 << uint(q)
+		}
+	}
+
+	// Continued-fraction expansion of measured / 2^t to recover s/r.
+	order := orderFromPhase(measured, 1<<uint(t), a, N)
+	return &OrderResult{A: a, N: N, Order: order, Measured: measured, Countbits: t}, nil
+}
+
+// applyInverseQFTState applies the inverse QFT over qubits 0..n-1
+// directly on the state.
+func applyInverseQFTState(s *quantum.State, n int) {
+	for i := 0; i < n/2; i++ {
+		s.ApplyTwo(quantum.SWAP, i, n-1-i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i - 1; j >= 0; j-- {
+			k := i - j + 1
+			s.ApplyTwo(quantum.CPhase(-2*math.Pi/math.Pow(2, float64(k))), j, i)
+		}
+		s.ApplyOne(quantum.H, i)
+	}
+}
+
+// orderFromPhase recovers the order by expanding measured/2^t as a
+// continued fraction and testing each convergent's denominator.
+func orderFromPhase(measured, dim, a, N int) int {
+	if measured == 0 {
+		return 0
+	}
+	num, den := measured, dim
+	var convergents [][2]int
+	h0, h1 := 0, 1 // numerators
+	k0, k1 := 1, 0 // denominators
+	for den != 0 {
+		q := num / den
+		num, den = den, num%den
+		h0, h1 = h1, q*h1+h0
+		k0, k1 = k1, q*k1+k0
+		convergents = append(convergents, [2]int{h1, k1})
+	}
+	for _, c := range convergents {
+		r := c[1]
+		if r <= 0 || r > N {
+			continue
+		}
+		if modPow(a, r, N) == 1 {
+			return r
+		}
+		// Odd measurement may give s/r with r' = r/2 factors; try small
+		// multiples, a standard classical repair step.
+		for mult := 2; mult <= 4; mult++ {
+			if r*mult <= N && modPow(a, r*mult, N) == 1 {
+				return r * mult
+			}
+		}
+	}
+	return 0
+}
+
+// FactorResult reports a factoring attempt.
+type FactorResult struct {
+	N        int
+	Factors  [2]int
+	A        int // the base that succeeded
+	Order    int
+	Attempts int
+}
+
+// Factor runs Shor's algorithm on composite N (odd, not a prime power)
+// with t counting qubits, retrying with random bases until non-trivial
+// factors emerge or maxAttempts is exhausted.
+func Factor(N, t, maxAttempts int, rng *rand.Rand) (*FactorResult, error) {
+	if N%2 == 0 {
+		return &FactorResult{N: N, Factors: [2]int{2, N / 2}, Attempts: 0}, nil
+	}
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		a := 2 + rng.Intn(N-3)
+		if g := gcd(a, N); g > 1 {
+			// Classically lucky: a shares a factor.
+			return &FactorResult{N: N, Factors: [2]int{g, N / g}, A: a, Attempts: attempt}, nil
+		}
+		res, err := FindOrder(a, N, t, rng)
+		if err != nil {
+			return nil, err
+		}
+		r := res.Order
+		if r == 0 || r%2 != 0 {
+			continue
+		}
+		half := modPow(a, r/2, N)
+		if half == N-1 {
+			continue // a^{r/2} ≡ −1: useless branch
+		}
+		f1 := gcd(half-1, N)
+		f2 := gcd(half+1, N)
+		for _, f := range []int{f1, f2} {
+			if f > 1 && f < N && N%f == 0 {
+				return &FactorResult{N: N, Factors: [2]int{f, N / f}, A: a, Order: r, Attempts: attempt}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("algo: failed to factor %d in %d attempts", N, maxAttempts)
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func modPow(base, exp, mod int) int {
+	result := 1
+	base %= mod
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = result * base % mod
+		}
+		base = base * base % mod
+		exp >>= 1
+	}
+	return result
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for (1 << uint(b)) <= n {
+		b++
+	}
+	return b
+}

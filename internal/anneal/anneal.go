@@ -1,0 +1,144 @@
+// Package anneal implements the annealing-based quantum accelerators of
+// §3.3 and §4.2: classical simulated annealing as the baseline, a
+// path-integral Monte-Carlo simulated quantum annealer (the D-Wave-style
+// transverse-field device), and a fully-connected digital annealer in the
+// style of Fujitsu's machine (parallel-trial sweeps, no embedding
+// required).
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/qubo"
+)
+
+// Result is the outcome of one annealing run.
+type Result struct {
+	Spins    []int // ±1 per logical spin
+	Bits     []int // 0/1 view of Spins
+	Energy   float64
+	Sweeps   int
+	Restarts int
+}
+
+// SAOptions configures classical simulated annealing.
+type SAOptions struct {
+	Sweeps   int     // Metropolis sweeps per restart (default 1000)
+	Restarts int     // independent restarts, best kept (default 4)
+	TStart   float64 // initial temperature (default: auto from couplings)
+	TEnd     float64 // final temperature (default TStart/1000)
+	Seed     int64
+}
+
+func (o *SAOptions) defaults(m *qubo.Ising) {
+	if o.Sweeps <= 0 {
+		o.Sweeps = 1000
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 4
+	}
+	if o.TStart <= 0 {
+		scale := 0.0
+		for _, h := range m.H {
+			scale += math.Abs(h)
+		}
+		for _, j := range m.J {
+			scale += 2 * math.Abs(j)
+		}
+		if m.N > 0 {
+			scale /= float64(m.N)
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		o.TStart = 2 * scale
+	}
+	if o.TEnd <= 0 {
+		o.TEnd = o.TStart / 1000
+	}
+}
+
+// localField returns the energy derivative dE/ds_i ≡ h_i + Σ_j J_ij s_j,
+// so flipping spin i changes the energy by −2 s_i · localField.
+func localField(m *qubo.Ising, adj [][]neighbor, s []int, i int) float64 {
+	f := m.H[i]
+	for _, nb := range adj[i] {
+		f += nb.j * float64(s[nb.to])
+	}
+	return f
+}
+
+type neighbor struct {
+	to int
+	j  float64
+}
+
+func adjacency(m *qubo.Ising) [][]neighbor {
+	adj := make([][]neighbor, m.N)
+	// Deterministic (sorted) coupling order keeps float summation order
+	// stable, so seeded runs reproduce exactly.
+	for _, c := range m.Couplings() {
+		adj[c.I] = append(adj[c.I], neighbor{to: c.J, j: c.Value})
+		adj[c.J] = append(adj[c.J], neighbor{to: c.I, j: c.Value})
+	}
+	return adj
+}
+
+// SimulatedAnnealing minimises the Ising model with Metropolis sweeps
+// under a geometric temperature schedule.
+func SimulatedAnnealing(m *qubo.Ising, opts SAOptions) *Result {
+	opts.defaults(m)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	adj := adjacency(m)
+
+	bestE := math.Inf(1)
+	var bestS []int
+	for r := 0; r < opts.Restarts; r++ {
+		s := randomSpins(m.N, rng)
+		ratio := math.Pow(opts.TEnd/opts.TStart, 1/math.Max(1, float64(opts.Sweeps-1)))
+		temp := opts.TStart
+		for sweep := 0; sweep < opts.Sweeps; sweep++ {
+			for i := 0; i < m.N; i++ {
+				dE := -2 * float64(s[i]) * localField(m, adj, s, i)
+				// dE is the change from flipping s_i → −s_i... with our
+				// sign convention E = Σ h s + Σ J s s, flipping i changes
+				// E by −2 s_i (h_i + Σ J s_j) = dE as computed above;
+				// accept if dE ≤ 0 or with Boltzmann probability.
+				if dE <= 0 || rng.Float64() < math.Exp(-dE/temp) {
+					s[i] = -s[i]
+				}
+			}
+			temp *= ratio
+		}
+		e := m.Energy(s)
+		if e < bestE {
+			bestE = e
+			bestS = append([]int(nil), s...)
+		}
+	}
+	return &Result{
+		Spins:    bestS,
+		Bits:     qubo.SpinsToBits(bestS),
+		Energy:   bestE,
+		Sweeps:   opts.Sweeps,
+		Restarts: opts.Restarts,
+	}
+}
+
+func randomSpins(n int, rng *rand.Rand) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = 2*rng.Intn(2) - 1
+	}
+	return s
+}
+
+// SolveQUBO is a convenience wrapper: converts to Ising, anneals, and
+// returns bits plus QUBO energy.
+func SolveQUBO(q *qubo.QUBO, opts SAOptions) *Result {
+	m := q.ToIsing()
+	res := SimulatedAnnealing(m, opts)
+	res.Energy = q.Energy(res.Bits)
+	return res
+}

@@ -1,0 +1,164 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qubo"
+	"repro/internal/tsp"
+)
+
+// ferroChain returns an n-spin ferromagnetic chain whose ground states
+// are all-up/all-down with energy −(n−1).
+func ferroChain(n int) *qubo.Ising {
+	m := qubo.NewIsing(n)
+	for i := 0; i+1 < n; i++ {
+		m.SetJ(i, i+1, -1)
+	}
+	return m
+}
+
+func TestSAFindsFerroGroundState(t *testing.T) {
+	m := ferroChain(12)
+	res := SimulatedAnnealing(m, SAOptions{Seed: 1})
+	if math.Abs(res.Energy-(-11)) > 1e-9 {
+		t.Errorf("SA energy %v, want -11", res.Energy)
+	}
+	first := res.Spins[0]
+	for _, s := range res.Spins {
+		if s != first {
+			t.Fatalf("not aligned: %v", res.Spins)
+		}
+	}
+}
+
+func TestSAWithFieldsBreaksDegeneracy(t *testing.T) {
+	m := ferroChain(8)
+	for i := range m.H {
+		m.H[i] = -0.1 // favours s=+1... E includes h·s so h<0 favours +1
+	}
+	res := SimulatedAnnealing(m, SAOptions{Seed: 2})
+	for _, s := range res.Spins {
+		if s != 1 {
+			t.Fatalf("field ignored: %v", res.Spins)
+		}
+	}
+}
+
+func TestSQAFindsFerroGroundState(t *testing.T) {
+	m := ferroChain(10)
+	res := SimulatedQuantumAnnealing(m, SQAOptions{Seed: 3})
+	if math.Abs(res.Energy-(-9)) > 1e-9 {
+		t.Errorf("SQA energy %v, want -9", res.Energy)
+	}
+}
+
+func TestDigitalAnnealFindsGroundState(t *testing.T) {
+	// Simple QUBO with known optimum.
+	q := qubo.New(6)
+	for i := 0; i < 6; i++ {
+		q.Set(i, i, -1)
+		for j := i + 1; j < 6; j++ {
+			q.Set(i, j, 0.4)
+		}
+	}
+	wantX, wantE := q.BruteForce()
+	res := DigitalAnneal(q, DigitalAnnealerOptions{Seed: 4})
+	if math.Abs(res.Energy-wantE) > 1e-9 {
+		t.Errorf("DA energy %v, want %v (x=%v)", res.Energy, wantE, wantX)
+	}
+}
+
+func TestSolveQUBOWrappers(t *testing.T) {
+	q := qubo.New(4)
+	q.Set(0, 0, -2)
+	q.Set(1, 1, 1)
+	q.Set(0, 1, 3)
+	_, wantE := q.BruteForce()
+	if res := SolveQUBO(q, SAOptions{Seed: 5}); math.Abs(res.Energy-wantE) > 1e-9 {
+		t.Errorf("SolveQUBO energy %v, want %v", res.Energy, wantE)
+	}
+	if res := SolveQUBOQuantum(q, SQAOptions{Seed: 5}); math.Abs(res.Energy-wantE) > 1e-9 {
+		t.Errorf("SolveQUBOQuantum energy %v, want %v", res.Energy, wantE)
+	}
+}
+
+func TestAnnealersSolveFig9TSP(t *testing.T) {
+	g := tsp.Netherlands4()
+	enc := tsp.Encode(g, 0)
+
+	check := func(name string, bits []int) {
+		t.Helper()
+		tour, err := enc.Decode(bits)
+		if err != nil {
+			t.Fatalf("%s produced infeasible assignment: %v", name, err)
+		}
+		cost := g.TourCost(tour)
+		if math.Abs(cost-1.42) > 1e-9 {
+			t.Errorf("%s tour cost %v, want 1.42", name, cost)
+		}
+	}
+
+	sa := SolveQUBO(enc.Q, SAOptions{Sweeps: 2000, Restarts: 8, Seed: 7})
+	check("SA", sa.Bits)
+
+	sqa := SolveQUBOQuantum(enc.Q, SQAOptions{Sweeps: 1500, Trotter: 8, Restarts: 6, Seed: 7})
+	check("SQA", sqa.Bits)
+
+	da := DigitalAnneal(enc.Q, DigitalAnnealerOptions{Steps: 30000, Seed: 7})
+	check("DA", da.Bits)
+}
+
+// Property: annealers never report an energy below the true optimum and
+// the reported energy matches their returned assignment.
+func TestAnnealerSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		q := qubo.New(n)
+		for i := 0; i < n; i++ {
+			q.Set(i, i, rng.NormFloat64())
+			for j := i + 1; j < n; j++ {
+				q.Set(i, j, rng.NormFloat64())
+			}
+		}
+		_, optE := q.BruteForce()
+		sa := SolveQUBO(q, SAOptions{Sweeps: 300, Restarts: 2, Seed: seed})
+		if sa.Energy < optE-1e-9 {
+			return false
+		}
+		if math.Abs(q.Energy(sa.Bits)-sa.Energy) > 1e-9 {
+			return false
+		}
+		da := DigitalAnneal(q, DigitalAnnealerOptions{Steps: 500, Seed: seed})
+		if da.Energy < optE-1e-9 {
+			return false
+		}
+		return math.Abs(q.Energy(da.Bits)-da.Energy) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultSpinBitConsistency(t *testing.T) {
+	m := ferroChain(5)
+	res := SimulatedAnnealing(m, SAOptions{Seed: 11, Sweeps: 50})
+	for i := range res.Spins {
+		if (res.Spins[i] == 1) != (res.Bits[i] == 1) {
+			t.Fatal("spins and bits disagree")
+		}
+	}
+}
+
+func TestSQATrotterSlicesParameter(t *testing.T) {
+	m := ferroChain(6)
+	for _, p := range []int{2, 8, 32} {
+		res := SimulatedQuantumAnnealing(m, SQAOptions{Trotter: p, Sweeps: 400, Seed: 13})
+		if math.Abs(res.Energy-(-5)) > 1e-9 {
+			t.Errorf("P=%d missed ground state: %v", p, res.Energy)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/qubo"
+)
+
+// DigitalAnnealerOptions configures the quantum-inspired fully-connected
+// annealer modelled on Fujitsu's Digital Annealer (§4.2): every variable
+// evaluates its flip in parallel each step, one accepted flip is applied,
+// and a dynamic energy offset provides the escape mechanism that replaces
+// quantum tunnelling.
+type DigitalAnnealerOptions struct {
+	Steps       int     // annealing steps (default 4000)
+	TStart      float64 // initial temperature (default auto)
+	TEnd        float64 // final temperature (default TStart/1000)
+	OffsetDelta float64 // escape-offset increment (default auto)
+	Seed        int64
+}
+
+// DigitalAnneal minimises a QUBO directly (no embedding needed: the
+// machine is fully connected, which is why it solves 90-city TSP
+// instances while the 2000Q stops at 9).
+func DigitalAnneal(q *qubo.QUBO, opts DigitalAnnealerOptions) *Result {
+	n := q.N
+	if opts.Steps <= 0 {
+		opts.Steps = 4000
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Precompute symmetric coupling rows for O(1) flip deltas.
+	row := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			row[i][j] = q.At(i, j)
+		}
+	}
+	scale := 0.0
+	for i := 0; i < n; i++ {
+		scale += math.Abs(q.At(i, i))
+		for j := i + 1; j < n; j++ {
+			scale += math.Abs(q.At(i, j))
+		}
+	}
+	scale /= float64(n)
+	if scale == 0 {
+		scale = 1
+	}
+	if opts.TStart <= 0 {
+		opts.TStart = 2 * scale
+	}
+	if opts.TEnd <= 0 {
+		opts.TEnd = opts.TStart / 1000
+	}
+	if opts.OffsetDelta <= 0 {
+		opts.OffsetDelta = 0.1 * scale
+	}
+
+	x := make([]int, n)
+	for i := range x {
+		x[i] = rng.Intn(2)
+	}
+	// delta[i] = energy change if x_i flips.
+	delta := make([]float64, n)
+	recompute := func() {
+		for i := 0; i < n; i++ {
+			d := q.At(i, i)
+			for j := 0; j < n; j++ {
+				if j != i && x[j] == 1 {
+					d += row[i][j]
+				}
+			}
+			if x[i] == 1 {
+				d = -d
+			}
+			delta[i] = d
+		}
+	}
+	recompute()
+	energy := q.Energy(x)
+	bestE := energy
+	bestX := append([]int(nil), x...)
+
+	offset := 0.0
+	ratio := math.Pow(opts.TEnd/opts.TStart, 1/math.Max(1, float64(opts.Steps-1)))
+	temp := opts.TStart
+	accepted := make([]int, 0, n)
+	for step := 0; step < opts.Steps; step++ {
+		// Parallel trial: every variable tests its flip against the
+		// offset-shifted Metropolis criterion.
+		accepted = accepted[:0]
+		for i := 0; i < n; i++ {
+			d := delta[i] - offset
+			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				accepted = append(accepted, i)
+			}
+		}
+		if len(accepted) == 0 {
+			// Escape mechanism: raise the offset until movement resumes.
+			offset += opts.OffsetDelta
+			temp *= ratio
+			continue
+		}
+		offset = 0
+		i := accepted[rng.Intn(len(accepted))]
+		// Apply flip i and update deltas incrementally.
+		oldXi := x[i]
+		x[i] = 1 - oldXi
+		energy += delta[i]
+		delta[i] = -delta[i]
+		sign := 1.0
+		if x[i] == 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			if j == i || row[i][j] == 0 {
+				continue
+			}
+			// Flipping x_i changes x_j's flip delta by ±row contribution.
+			contribution := row[i][j] * sign
+			if x[j] == 1 {
+				delta[j] -= contribution
+			} else {
+				delta[j] += contribution
+			}
+		}
+		if energy < bestE {
+			bestE = energy
+			copy(bestX, x)
+		}
+		temp *= ratio
+	}
+	return &Result{
+		Spins:  qubo.BitsToSpins(bestX),
+		Bits:   bestX,
+		Energy: bestE,
+		Sweeps: opts.Steps,
+	}
+}

@@ -1,0 +1,122 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/qubo"
+)
+
+// SQAOptions configures path-integral simulated quantum annealing: a
+// transverse-field Ising model Trotterised into P interacting replicas,
+// the standard classical simulation of the quantum annealing hardware of
+// §4.2.
+type SQAOptions struct {
+	Trotter  int     // number of imaginary-time slices P (default 16)
+	Sweeps   int     // Monte-Carlo sweeps over the whole system (default 800)
+	Restarts int     // independent restarts, best kept (default 3)
+	GammaMax float64 // initial transverse field (default 3)
+	GammaMin float64 // final transverse field (default 0.01)
+	Temp     float64 // simulation temperature (default 0.2·scale)
+	Seed     int64
+}
+
+func (o *SQAOptions) defaults(m *qubo.Ising) {
+	if o.Trotter <= 0 {
+		o.Trotter = 16
+	}
+	if o.Sweeps <= 0 {
+		o.Sweeps = 800
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+	if o.GammaMax <= 0 {
+		o.GammaMax = 3
+	}
+	if o.GammaMin <= 0 {
+		o.GammaMin = 0.01
+	}
+	if o.Temp <= 0 {
+		scale := 0.0
+		for _, j := range m.J {
+			scale += math.Abs(j)
+		}
+		for _, h := range m.H {
+			scale += math.Abs(h)
+		}
+		if m.N > 0 {
+			scale /= float64(m.N)
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		o.Temp = 0.2 * scale
+	}
+}
+
+// SimulatedQuantumAnnealing minimises the Ising model by path-integral
+// Monte Carlo: quantum tunnelling is emulated by ferromagnetic coupling
+// J⊥ between P replicas, with J⊥ strengthening as the transverse field Γ
+// is annealed to zero.
+func SimulatedQuantumAnnealing(m *qubo.Ising, opts SQAOptions) *Result {
+	opts.defaults(m)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	adj := adjacency(m)
+	p := opts.Trotter
+	invP := 1 / float64(p)
+
+	bestE := math.Inf(1)
+	var bestS []int
+	for restart := 0; restart < opts.Restarts; restart++ {
+		// replicas[k][i] is spin i in slice k.
+		replicas := make([][]int, p)
+		for k := range replicas {
+			replicas[k] = randomSpins(m.N, rng)
+		}
+		for sweep := 0; sweep < opts.Sweeps; sweep++ {
+			frac := float64(sweep) / math.Max(1, float64(opts.Sweeps-1))
+			gamma := opts.GammaMax + (opts.GammaMin-opts.GammaMax)*frac
+			// Inter-slice coupling from the Suzuki–Trotter decomposition.
+			arg := gamma / (float64(p) * opts.Temp)
+			jPerp := -0.5 * opts.Temp * math.Log(math.Tanh(arg))
+			for k := 0; k < p; k++ {
+				up := replicas[(k+1)%p]
+				down := replicas[(k-1+p)%p]
+				cur := replicas[k]
+				for i := 0; i < m.N; i++ {
+					// Problem-Hamiltonian field (scaled 1/P) plus the
+					// ferromagnetic inter-replica field −J⊥·(s_up + s_down).
+					f := invP * localField(m, adj, cur, i)
+					f -= jPerp * float64(up[i]+down[i])
+					dE := -2 * float64(cur[i]) * f
+					if dE <= 0 || rng.Float64() < math.Exp(-dE/opts.Temp) {
+						cur[i] = -cur[i]
+					}
+				}
+			}
+		}
+		// Keep the best slice under the true (untrotterised) energy.
+		for k := 0; k < p; k++ {
+			if e := m.Energy(replicas[k]); e < bestE {
+				bestE = e
+				bestS = append([]int(nil), replicas[k]...)
+			}
+		}
+	}
+	return &Result{
+		Spins:    bestS,
+		Bits:     qubo.SpinsToBits(bestS),
+		Energy:   bestE,
+		Sweeps:   opts.Sweeps,
+		Restarts: opts.Restarts,
+	}
+}
+
+// SolveQUBOQuantum anneals a QUBO with the simulated quantum annealer.
+func SolveQUBOQuantum(q *qubo.QUBO, opts SQAOptions) *Result {
+	m := q.ToIsing()
+	res := SimulatedQuantumAnnealing(m, opts)
+	res.Energy = q.Energy(res.Bits)
+	return res
+}

@@ -1,0 +1,278 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/quantum"
+)
+
+func TestNewGateValidation(t *testing.T) {
+	if _, err := NewGate("h", []int{0}); err != nil {
+		t.Errorf("valid h rejected: %v", err)
+	}
+	if _, err := NewGate("nosuch", []int{0}); err == nil {
+		t.Error("unknown gate accepted")
+	}
+	if _, err := NewGate("cnot", []int{0}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := NewGate("cnot", []int{1, 1}); err == nil {
+		t.Error("repeated qubit accepted")
+	}
+	if _, err := NewGate("rz", []int{0}); err == nil {
+		t.Error("missing parameter accepted")
+	}
+	if _, err := NewGate("h", []int{-1}); err == nil {
+		t.Error("negative qubit accepted")
+	}
+}
+
+func TestRegistryMatrices(t *testing.T) {
+	for _, name := range Names() {
+		spec, _ := Lookup(name)
+		params := make([]float64, spec.NumParams)
+		for i := range params {
+			params[i] = 0.3 * float64(i+1)
+		}
+		m := spec.Matrix(params)
+		if m.N != 1<<uint(spec.Arity) {
+			t.Errorf("%s: matrix dim %d for arity %d", name, m.N, spec.Arity)
+		}
+		if !m.IsUnitary(1e-9) {
+			t.Errorf("%s: matrix not unitary", name)
+		}
+	}
+}
+
+// Property: for every registered gate, composing with its inverse yields
+// the identity.
+func TestInverseProperty(t *testing.T) {
+	for _, name := range Names() {
+		spec, _ := Lookup(name)
+		qubits := make([]int, spec.Arity)
+		for i := range qubits {
+			qubits[i] = i
+		}
+		params := make([]float64, spec.NumParams)
+		for i := range params {
+			params[i] = 0.7 + 0.4*float64(i)
+		}
+		g, err := NewGate(name, qubits, params...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		inv, err := g.Inverse()
+		if err != nil {
+			t.Fatalf("%s inverse: %v", name, err)
+		}
+		gm, _ := g.Matrix()
+		im, _ := inv.Matrix()
+		if !gm.Mul(im).Equal(quantum.Identity(gm.N), 1e-9) {
+			t.Errorf("%s: G·G⁻¹ != I", name)
+		}
+	}
+}
+
+func TestCircuitBuildersAndCounts(t *testing.T) {
+	c := New("test", 3)
+	c.H(0).CNOT(0, 1).RZ(2, 0.5).CZ(1, 2).Measure(0)
+	if got := c.GateCount(); got != 5 {
+		t.Errorf("gate count %d, want 5", got)
+	}
+	if got := c.GateCount("cnot", "cz"); got != 2 {
+		t.Errorf("count(cnot,cz) = %d, want 2", got)
+	}
+	if got := c.TwoQubitGateCount(); got != 2 {
+		t.Errorf("two-qubit count %d, want 2", got)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	c := New("d", 4)
+	c.H(0).H(1).H(2).H(3) // one layer
+	if d := c.Depth(); d != 1 {
+		t.Errorf("depth %d, want 1", d)
+	}
+	c.CNOT(0, 1).CNOT(2, 3) // second layer
+	if d := c.Depth(); d != 2 {
+		t.Errorf("depth %d, want 2", d)
+	}
+	c.CNOT(1, 2) // third layer
+	if d := c.Depth(); d != 3 {
+		t.Errorf("depth %d, want 3", d)
+	}
+}
+
+func TestDepthWithBarrier(t *testing.T) {
+	c := New("b", 2)
+	c.H(0).Barrier().H(1)
+	if d := c.Depth(); d != 2 {
+		t.Errorf("depth with barrier %d, want 2", d)
+	}
+}
+
+func TestCircuitInverse(t *testing.T) {
+	c := New("inv", 2)
+	c.H(0).T(0).CNOT(0, 1).RZ(1, 0.9)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Gates[0].Name != "rz" || inv.Gates[0].Params[0] != -0.9 {
+		t.Errorf("inverse order/params wrong: %v", inv.Gates[0])
+	}
+	if inv.Gates[2].Name != "tdag" {
+		t.Errorf("t inverse = %s, want tdag", inv.Gates[2].Name)
+	}
+	c.Measure(0)
+	if _, err := c.Inverse(); err == nil {
+		t.Error("inverse of measuring circuit should fail")
+	}
+}
+
+func TestAppendAndClone(t *testing.T) {
+	a := New("a", 2).H(0)
+	b := New("b", 2).CNOT(0, 1)
+	a.Append(b)
+	if a.GateCount() != 2 {
+		t.Error("append failed")
+	}
+	c := a.Clone()
+	c.X(0)
+	if a.GateCount() != 2 {
+		t.Error("clone not independent")
+	}
+}
+
+func TestUsedQubits(t *testing.T) {
+	c := New("u", 5).H(1).CNOT(1, 3)
+	got := c.UsedQubits()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("used qubits %v, want [1 3]", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := New("v", 2).H(0).CNOT(0, 1)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid circuit rejected: %v", err)
+	}
+	c.Gates = append(c.Gates, Gate{Name: "bogus", Qubits: []int{0}})
+	if err := c.Validate(); err == nil {
+		t.Error("invalid gate accepted")
+	}
+}
+
+func TestGateString(t *testing.T) {
+	g, _ := NewGate("rz", []int{2}, 0.5)
+	if got := g.String(); got != "rz q[2], 0.5" {
+		t.Errorf("String() = %q", got)
+	}
+	if s := New("s", 1).H(0).String(); !strings.Contains(s, "h q[0]") {
+		t.Errorf("circuit String missing gate: %q", s)
+	}
+}
+
+func simulate(c *Circuit) *quantum.State {
+	s := quantum.NewState(c.NumQubits)
+	for _, g := range c.Gates {
+		if !g.IsUnitary() {
+			continue
+		}
+		m, err := g.Matrix()
+		if err != nil {
+			panic(err)
+		}
+		s.Apply(m, g.Qubits...)
+	}
+	return s
+}
+
+func TestQFTOnBasisState(t *testing.T) {
+	// QFT|0...0> = uniform superposition.
+	n := 4
+	c := QFT(n, true)
+	s := simulate(c)
+	want := 1 / math.Sqrt(math.Pow(2, float64(n)))
+	for i := 0; i < s.Dim(); i++ {
+		a := s.Amplitude(i)
+		if math.Abs(real(a)-want) > 1e-9 || math.Abs(imag(a)) > 1e-9 {
+			t.Fatalf("QFT|0>: amp[%d] = %v, want %v", i, a, want)
+		}
+	}
+}
+
+func TestQFTInverseIsIdentity(t *testing.T) {
+	n := 3
+	c := QFT(n, true)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	s := quantum.RandomState(n, rng)
+	orig := s.Clone()
+	for _, g := range append(append([]Gate{}, c.Gates...), inv.Gates...) {
+		m, _ := g.Matrix()
+		s.Apply(m, g.Qubits...)
+	}
+	if f := s.Fidelity(orig); math.Abs(f-1) > 1e-8 {
+		t.Errorf("QFT·QFT⁻¹ fidelity %v", f)
+	}
+}
+
+func TestGHZCircuit(t *testing.T) {
+	s := simulate(GHZ(6))
+	p := s.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-9 || math.Abs(p[63]-0.5) > 1e-9 {
+		t.Errorf("GHZ probabilities wrong: p0=%v p63=%v", p[0], p[63])
+	}
+}
+
+func TestWState(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		s := simulate(WState(n))
+		p := s.Probabilities()
+		want := 1 / float64(n)
+		for i := 0; i < len(p); i++ {
+			oneHot := i != 0 && i&(i-1) == 0
+			if oneHot {
+				if math.Abs(p[i]-want) > 1e-9 {
+					t.Errorf("W%d: p[%d] = %v, want %v", n, i, p[i], want)
+				}
+			} else if p[i] > 1e-9 {
+				t.Errorf("W%d: non-one-hot state %d has probability %v", n, i, p[i])
+			}
+		}
+	}
+}
+
+func TestRandomCircuitShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := RandomCircuit(6, 5, rng)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TwoQubitGateCount() != 5*3 {
+		t.Errorf("two-qubit gates %d, want 15", c.TwoQubitGateCount())
+	}
+}
+
+// Property: random circuits always validate and have depth at least their
+// layer count.
+func TestRandomCircuitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		depth := 1 + rng.Intn(6)
+		c := RandomCircuit(n, depth, rng)
+		return c.Validate() == nil && c.Depth() >= depth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

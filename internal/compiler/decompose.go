@@ -1,0 +1,193 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Decompose rewrites every gate the platform does not support natively
+// into supported primitives, applying rules recursively. It returns a new
+// circuit; the input is not modified. Reversible-circuit design and gate
+// decomposition are the first stages of the paper's compiler (§2.4).
+func Decompose(c *circuit.Circuit, p *Platform) (*circuit.Circuit, error) {
+	out := circuit.New(c.Name, c.NumQubits)
+	for _, g := range c.Gates {
+		if err := decomposeInto(out, g, p, 0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+const maxDecomposeDepth = 16
+
+func decomposeInto(out *circuit.Circuit, g circuit.Gate, p *Platform, depth int) error {
+	if depth > maxDecomposeDepth {
+		return fmt.Errorf("compiler: decomposition of %q did not terminate", g.Name)
+	}
+	// Non-unitary operations and native gates pass through. A platform
+	// with an empty gate table accepts everything (perfect target).
+	if !g.IsUnitary() || len(p.Gates) == 0 || p.Supports(g.Name) {
+		out.AddGate(g.Clone())
+		return nil
+	}
+	sub, err := expand(g)
+	if err != nil {
+		return err
+	}
+	for _, s := range sub {
+		// Classical control distributes over the decomposition: each
+		// primitive fires under the same condition.
+		s.HasCond = g.HasCond
+		s.CondBit = g.CondBit
+		if err := decomposeInto(out, s, p, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expand returns the one-level decomposition of g into more primitive
+// gates (correct up to global phase). The rules bottom out in the NISQ
+// set {x90, mx90, y90, my90, rz, cz}.
+func expand(g circuit.Gate) ([]circuit.Gate, error) {
+	q := g.Qubits
+	mk := func(name string, qubits []int, params ...float64) circuit.Gate {
+		ng, err := circuit.NewGate(name, qubits, params...)
+		if err != nil {
+			panic(err) // rules are static; an error is a programming bug
+		}
+		return ng
+	}
+	switch g.Name {
+	case "x":
+		return []circuit.Gate{mk("x90", q), mk("x90", q)}, nil
+	case "y":
+		return []circuit.Gate{mk("y90", q), mk("y90", q)}, nil
+	case "z":
+		return []circuit.Gate{mk("rz", q, math.Pi)}, nil
+	case "h":
+		// H = Y90 · Z (apply z first).
+		return []circuit.Gate{mk("z", q), mk("y90", q)}, nil
+	case "s":
+		return []circuit.Gate{mk("rz", q, math.Pi/2)}, nil
+	case "sdag":
+		return []circuit.Gate{mk("rz", q, -math.Pi/2)}, nil
+	case "t":
+		return []circuit.Gate{mk("rz", q, math.Pi/4)}, nil
+	case "tdag":
+		return []circuit.Gate{mk("rz", q, -math.Pi/4)}, nil
+	case "rx":
+		// RX(θ) = Y90 · RZ(θ) · MY90 (apply my90 first): Y90 maps the z
+		// axis onto the x axis.
+		return []circuit.Gate{mk("my90", q), mk("rz", q, g.Params[0]), mk("y90", q)}, nil
+	case "ry":
+		// RY(θ) = MX90 · RZ(θ) · X90 (apply x90 first).
+		return []circuit.Gate{mk("x90", q), mk("rz", q, g.Params[0]), mk("mx90", q)}, nil
+	case "phase":
+		// Phase(θ) = RZ(θ) up to global phase.
+		return []circuit.Gate{mk("rz", q, g.Params[0])}, nil
+	case "u3":
+		// U3(θ,φ,λ) = RZ(φ)·RY(θ)·RZ(λ) up to global phase.
+		return []circuit.Gate{
+			mk("rz", q, g.Params[2]),
+			mk("ry", q, g.Params[0]),
+			mk("rz", q, g.Params[1]),
+		}, nil
+	case "cnot":
+		// CNOT(c,t) = H_t · CZ · H_t.
+		c, t := q[0], q[1]
+		return []circuit.Gate{
+			mk("h", []int{t}),
+			mk("cz", []int{c, t}),
+			mk("h", []int{t}),
+		}, nil
+	case "cz":
+		// For CNOT-native platforms: CZ = H_t · CNOT · H_t. To avoid a
+		// rewrite cycle with the cnot rule, expand directly to the NISQ
+		// realisation of H around a cz is impossible — instead express CZ
+		// via cphase, which bottoms out in rz/cnot.
+		return []circuit.Gate{mk("cphase", q, math.Pi)}, nil
+	case "swap":
+		a, b := q[0], q[1]
+		return []circuit.Gate{
+			mk("cnot", []int{a, b}),
+			mk("cnot", []int{b, a}),
+			mk("cnot", []int{a, b}),
+		}, nil
+	case "iswap":
+		// iSWAP = SWAP · CZ · (S⊗S) (apply the phases first).
+		a, b := q[0], q[1]
+		return []circuit.Gate{
+			mk("s", []int{a}),
+			mk("s", []int{b}),
+			mk("cz", []int{a, b}),
+			mk("swap", []int{a, b}),
+		}, nil
+	case "iswapdag":
+		a, b := q[0], q[1]
+		return []circuit.Gate{
+			mk("swap", []int{a, b}),
+			mk("cz", []int{a, b}),
+			mk("sdag", []int{a}),
+			mk("sdag", []int{b}),
+		}, nil
+	case "cphase":
+		// CPhase(θ) = RZ_a(θ/2)·RZ_b(θ/2)·CNOT·RZ_b(−θ/2)·CNOT up to
+		// global phase.
+		a, b := q[0], q[1]
+		th := g.Params[0]
+		return []circuit.Gate{
+			mk("rz", []int{a}, th/2),
+			mk("rz", []int{b}, th/2),
+			mk("cnot", []int{a, b}),
+			mk("rz", []int{b}, -th/2),
+			mk("cnot", []int{a, b}),
+		}, nil
+	case "crz":
+		a, b := q[0], q[1]
+		th := g.Params[0]
+		return []circuit.Gate{
+			mk("rz", []int{b}, th/2),
+			mk("cnot", []int{a, b}),
+			mk("rz", []int{b}, -th/2),
+			mk("cnot", []int{a, b}),
+		}, nil
+	case "toffoli":
+		// Standard 15-gate Clifford+T decomposition.
+		a, b, t := q[0], q[1], q[2]
+		return []circuit.Gate{
+			mk("h", []int{t}),
+			mk("cnot", []int{b, t}),
+			mk("tdag", []int{t}),
+			mk("cnot", []int{a, t}),
+			mk("t", []int{t}),
+			mk("cnot", []int{b, t}),
+			mk("tdag", []int{t}),
+			mk("cnot", []int{a, t}),
+			mk("t", []int{b}),
+			mk("t", []int{t}),
+			mk("h", []int{t}),
+			mk("cnot", []int{a, b}),
+			mk("t", []int{a}),
+			mk("tdag", []int{b}),
+			mk("cnot", []int{a, b}),
+		}, nil
+	case "fredkin":
+		// CSWAP(c; a, b) = CNOT(b,a) · Toffoli(c,a,b) · CNOT(b,a).
+		c, a, b := q[0], q[1], q[2]
+		return []circuit.Gate{
+			mk("cnot", []int{b, a}),
+			mk("toffoli", []int{c, a, b}),
+			mk("cnot", []int{b, a}),
+		}, nil
+	case "i", "x90", "mx90", "y90", "my90", "rz":
+		// Already primitive; a platform that rejects these cannot be
+		// targeted.
+		return nil, fmt.Errorf("compiler: gate %q is a base primitive the platform does not support", g.Name)
+	default:
+		return nil, fmt.Errorf("compiler: no decomposition rule for gate %q", g.Name)
+	}
+}

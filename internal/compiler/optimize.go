@@ -1,0 +1,162 @@
+package compiler
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Optimize applies peephole optimisations to a fixpoint: cancellation of
+// adjacent self-inverse pairs, merging of consecutive rotations about the
+// same axis, and removal of identity gates and zero-angle rotations.
+// "Adjacent" means no intervening gate touches any of the pair's qubits.
+func Optimize(c *circuit.Circuit) *circuit.Circuit {
+	out := c.Clone()
+	for {
+		n := len(out.Gates)
+		out = cancelPairs(out)
+		out = mergeRotations(out)
+		out = dropIdentities(out)
+		if len(out.Gates) == n {
+			return out
+		}
+	}
+}
+
+var selfInversePairs = map[string]string{
+	"x": "x", "y": "y", "z": "z", "h": "h", "i": "i",
+	"cnot": "cnot", "cz": "cz", "swap": "swap",
+	"toffoli": "toffoli", "fredkin": "fredkin",
+	"s": "sdag", "sdag": "s", "t": "tdag", "tdag": "t",
+	"x90": "mx90", "mx90": "x90", "y90": "my90", "my90": "y90",
+	"iswap": "iswapdag", "iswapdag": "iswap",
+}
+
+var rotationGates = map[string]bool{"rx": true, "ry": true, "rz": true, "phase": true, "cphase": true, "crz": true}
+
+// nextOnQubits returns the index of the first gate after i that shares a
+// qubit with g, or -1. blocked reports whether a non-unitary op intervened.
+func nextOnQubits(gates []circuit.Gate, i int) (int, bool) {
+	g := gates[i]
+	qset := map[int]bool{}
+	for _, q := range g.Qubits {
+		qset[q] = true
+	}
+	for j := i + 1; j < len(gates); j++ {
+		other := gates[j]
+		if other.Name == circuit.OpBarrier || other.Name == circuit.OpMeasureAll {
+			return j, true
+		}
+		for _, q := range other.Qubits {
+			if qset[q] {
+				return j, !other.IsUnitary()
+			}
+		}
+	}
+	return -1, false
+}
+
+func sameOperands(a, b circuit.Gate) bool {
+	if len(a.Qubits) != len(b.Qubits) {
+		return false
+	}
+	for i := range a.Qubits {
+		if a.Qubits[i] != b.Qubits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cancelPairs(c *circuit.Circuit) *circuit.Circuit {
+	gates := c.Gates
+	removed := make([]bool, len(gates))
+	for i := 0; i < len(gates); i++ {
+		if removed[i] {
+			continue
+		}
+		g := gates[i]
+		inv, ok := selfInversePairs[g.Name]
+		if !ok || g.HasCond {
+			continue
+		}
+		j, blocked := nextOnQubits(gates, i)
+		if j < 0 || blocked || removed[j] {
+			continue
+		}
+		other := gates[j]
+		if other.HasCond {
+			continue // conditional gates fire data-dependently; keep both
+		}
+		if other.Name == inv && sameOperands(g, other) {
+			removed[i], removed[j] = true, true
+		}
+	}
+	out := circuit.New(c.Name, c.NumQubits)
+	for i, g := range gates {
+		if !removed[i] {
+			out.AddGate(g)
+		}
+	}
+	return out
+}
+
+func mergeRotations(c *circuit.Circuit) *circuit.Circuit {
+	gates := c.Gates
+	removed := make([]bool, len(gates))
+	out := circuit.New(c.Name, c.NumQubits)
+	for i := 0; i < len(gates); i++ {
+		if removed[i] {
+			continue
+		}
+		g := gates[i].Clone()
+		if rotationGates[g.Name] && !g.HasCond {
+			// Absorb following rotations of the same kind on the same
+			// operands. pos tracks the scan position without disturbing
+			// the outer loop, so skipped-over gates on other qubits are
+			// still emitted in order.
+			pos := i
+			for {
+				j, blocked := nextOnQubits(gates, pos)
+				if j < 0 || blocked || removed[j] {
+					break
+				}
+				other := gates[j]
+				if other.Name != g.Name || !sameOperands(g, other) || other.HasCond {
+					break
+				}
+				g.Params[0] += other.Params[0]
+				removed[j] = true
+				pos = j
+			}
+		}
+		out.AddGate(g)
+	}
+	return out
+}
+
+func dropIdentities(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.Name, c.NumQubits)
+	for _, g := range c.Gates {
+		// Identities are no-ops whether or not they are conditional.
+		if g.Name == "i" {
+			continue
+		}
+		if rotationGates[g.Name] && math.Abs(normalizeAngle(g.Params[0])) < 1e-12 {
+			continue
+		}
+		out.AddGate(g)
+	}
+	return out
+}
+
+// normalizeAngle maps an angle to (−π, π].
+func normalizeAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

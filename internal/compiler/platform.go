@@ -1,0 +1,235 @@
+// Package compiler implements the quantum compiler layer of the stack
+// (§2.4–§2.6): gate decomposition to a platform's primitive set, circuit
+// optimisation, ASAP/ALAP and resource-constrained scheduling, and
+// mapping/routing under nearest-neighbour constraints. A Platform is the
+// configuration file that retargets the same passes to different quantum
+// technologies, exactly as the paper's micro-architecture was retargeted
+// from superconducting to semiconducting qubits by "changes in the
+// configuration file for the compiler".
+package compiler
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// GateInfo holds per-gate platform parameters.
+type GateInfo struct {
+	// DurationCycles is the gate latency in micro-architecture cycles.
+	DurationCycles int `json:"duration"`
+}
+
+// Platform describes a compilation target: its primitive gate set, gate
+// timings, qubit connectivity and control-channel limits.
+type Platform struct {
+	Name        string `json:"name"`
+	NumQubits   int    `json:"qubits"`
+	CycleTimeNs int    `json:"cycle_time_ns"`
+	// Gates maps primitive gate names to their parameters. A gate absent
+	// from this map must be decomposed before execution.
+	Gates map[string]GateInfo `json:"gates"`
+	// MaxParallelOps bounds the number of simultaneously executing
+	// operations (control-channel limit); 0 means unlimited.
+	MaxParallelOps int `json:"max_parallel_ops"`
+	// Topology is the qubit connectivity; nil means all-to-all (perfect
+	// qubits, §2.1).
+	Topology *topology.Topology `json:"-"`
+}
+
+// Supports reports whether the platform executes the gate natively.
+func (p *Platform) Supports(name string) bool {
+	_, ok := p.Gates[name]
+	return ok
+}
+
+// Duration returns the cycle count of a gate (default 1 for unknown
+// gates, so perfect platforms need no exhaustive table).
+func (p *Platform) Duration(name string) int {
+	if info, ok := p.Gates[name]; ok && info.DurationCycles > 0 {
+		return info.DurationCycles
+	}
+	return 1
+}
+
+// Adjacent reports whether a two-qubit gate between physical qubits a and
+// b is allowed.
+func (p *Platform) Adjacent(a, b int) bool {
+	if p.Topology == nil {
+		return true
+	}
+	return p.Topology.Adjacent(a, b)
+}
+
+// Validate checks internal consistency.
+func (p *Platform) Validate() error {
+	if p.NumQubits <= 0 {
+		return fmt.Errorf("compiler: platform %q has no qubits", p.Name)
+	}
+	if p.Topology != nil && p.Topology.N != p.NumQubits {
+		return fmt.Errorf("compiler: platform %q topology size %d != qubits %d",
+			p.Name, p.Topology.N, p.NumQubits)
+	}
+	return nil
+}
+
+// Perfect returns the perfect-qubit platform: every registered gate is
+// primitive, connectivity is all-to-all and there are no channel limits.
+// This is the application-development target of §2.1.
+func Perfect(n int) *Platform {
+	return &Platform{
+		Name:        "perfect",
+		NumQubits:   n,
+		CycleTimeNs: 1,
+		Gates:       map[string]GateInfo{},
+	}
+}
+
+// nisqGates is the primitive set shared by the hardware-like presets:
+// microwave single-qubit rotations, flux-based CZ, measurement and reset.
+func nisqGates(single, two, meas, prep int) map[string]GateInfo {
+	return map[string]GateInfo{
+		"i":       {DurationCycles: single},
+		"rz":      {DurationCycles: single},
+		"x90":     {DurationCycles: single},
+		"mx90":    {DurationCycles: single},
+		"y90":     {DurationCycles: single},
+		"my90":    {DurationCycles: single},
+		"cz":      {DurationCycles: two},
+		"measure": {DurationCycles: meas},
+		"prep_z":  {DurationCycles: prep},
+		"wait":    {DurationCycles: 1},
+		"barrier": {DurationCycles: 0},
+	}
+}
+
+// Superconducting returns a transmon-style platform: Surface-17
+// connectivity, 20 ns cycles, 1-cycle microwave gates, 2-cycle CZ,
+// 15-cycle measurement — the experimental target of §3.1.
+func Superconducting() *Platform {
+	return &Platform{
+		Name:           "superconducting",
+		NumQubits:      17,
+		CycleTimeNs:    20,
+		Gates:          nisqGates(1, 2, 15, 10),
+		MaxParallelOps: 0,
+		Topology:       topology.Surface17(),
+	}
+}
+
+// Semiconducting returns a spin-qubit-style platform: linear array,
+// slower two-qubit exchange gates, 100 ns cycles — the second technology
+// the paper's micro-architecture was retargeted to.
+func Semiconducting() *Platform {
+	return &Platform{
+		Name:           "semiconducting",
+		NumQubits:      8,
+		CycleTimeNs:    100,
+		Gates:          nisqGates(1, 4, 30, 20),
+		MaxParallelOps: 2, // shared control lines restrict parallelism
+		Topology:       topology.Linear(8),
+	}
+}
+
+// platformJSON is the on-disk form, with a declarative topology spec.
+type platformJSON struct {
+	Name           string              `json:"name"`
+	NumQubits      int                 `json:"qubits"`
+	CycleTimeNs    int                 `json:"cycle_time_ns"`
+	Gates          map[string]GateInfo `json:"gates"`
+	MaxParallelOps int                 `json:"max_parallel_ops"`
+	Topology       *topologySpec       `json:"topology,omitempty"`
+}
+
+type topologySpec struct {
+	Kind string `json:"kind"` // linear, ring, grid, full, star, surface17, chimera
+	Rows int    `json:"rows,omitempty"`
+	Cols int    `json:"cols,omitempty"`
+	K    int    `json:"k,omitempty"`
+	// Edges lists explicit extra/custom edges for kind "custom".
+	Edges [][2]int `json:"edges,omitempty"`
+}
+
+// LoadPlatform parses a platform from its JSON configuration.
+func LoadPlatform(data []byte) (*Platform, error) {
+	var pj platformJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return nil, fmt.Errorf("compiler: bad platform config: %w", err)
+	}
+	p := &Platform{
+		Name:           pj.Name,
+		NumQubits:      pj.NumQubits,
+		CycleTimeNs:    pj.CycleTimeNs,
+		Gates:          pj.Gates,
+		MaxParallelOps: pj.MaxParallelOps,
+	}
+	if p.Gates == nil {
+		p.Gates = map[string]GateInfo{}
+	}
+	if pj.Topology != nil {
+		topo, err := buildTopology(pj.Topology, pj.NumQubits)
+		if err != nil {
+			return nil, err
+		}
+		p.Topology = topo
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MarshalConfig renders the platform back to JSON (custom topologies are
+// emitted as explicit edge lists).
+func (p *Platform) MarshalConfig() ([]byte, error) {
+	pj := platformJSON{
+		Name:           p.Name,
+		NumQubits:      p.NumQubits,
+		CycleTimeNs:    p.CycleTimeNs,
+		Gates:          p.Gates,
+		MaxParallelOps: p.MaxParallelOps,
+	}
+	if p.Topology != nil {
+		pj.Topology = &topologySpec{Kind: "custom", Edges: p.Topology.Edges()}
+	}
+	return json.MarshalIndent(pj, "", "  ")
+}
+
+func buildTopology(spec *topologySpec, n int) (*topology.Topology, error) {
+	switch spec.Kind {
+	case "linear":
+		return topology.Linear(n), nil
+	case "ring":
+		return topology.Ring(n), nil
+	case "grid":
+		if spec.Rows*spec.Cols != n {
+			return nil, fmt.Errorf("compiler: grid %dx%d != %d qubits", spec.Rows, spec.Cols, n)
+		}
+		return topology.Grid(spec.Rows, spec.Cols), nil
+	case "full":
+		return topology.FullyConnected(n), nil
+	case "star":
+		return topology.Star(n), nil
+	case "surface17":
+		if n != 17 {
+			return nil, fmt.Errorf("compiler: surface17 requires 17 qubits, got %d", n)
+		}
+		return topology.Surface17(), nil
+	case "chimera":
+		t := topology.Chimera(spec.Rows, spec.Cols, spec.K)
+		if t.N != n {
+			return nil, fmt.Errorf("compiler: chimera(%d,%d,%d) has %d qubits, config says %d",
+				spec.Rows, spec.Cols, spec.K, t.N, n)
+		}
+		return t, nil
+	case "custom":
+		t := topology.New("custom", n)
+		for _, e := range spec.Edges {
+			t.AddEdge(e[0], e[1])
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("compiler: unknown topology kind %q", spec.Kind)
+	}
+}

@@ -1,0 +1,226 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// Policy selects the scheduling strategy (§2.6 "scheduling of
+// operations").
+type Policy int
+
+const (
+	// ASAP starts every gate as early as its operands allow.
+	ASAP Policy = iota
+	// ALAP starts every gate as late as possible without extending the
+	// ASAP makespan (useful to minimise idle decoherence before use).
+	ALAP
+)
+
+func (p Policy) String() string {
+	if p == ALAP {
+		return "alap"
+	}
+	return "asap"
+}
+
+// ScheduledGate is a gate with an assigned start cycle and duration.
+type ScheduledGate struct {
+	Gate     circuit.Gate
+	Cycle    int // start cycle
+	Duration int // in cycles
+}
+
+// Schedule is a timed circuit: the output of the scheduling pass and the
+// input of eQASM generation.
+type Schedule struct {
+	NumQubits int
+	Policy    Policy
+	Gates     []ScheduledGate // sorted by Cycle, stable w.r.t. input order
+	Makespan  int             // total cycles
+}
+
+// Bundles groups scheduled gates by start cycle, in cycle order —
+// the bundle view matches cQASM's { g | g } syntax and eQASM's
+// instruction bundles.
+func (s *Schedule) Bundles() map[int][]ScheduledGate {
+	out := map[int][]ScheduledGate{}
+	for _, sg := range s.Gates {
+		out[sg.Cycle] = append(out[sg.Cycle], sg)
+	}
+	return out
+}
+
+// Cycles returns the sorted list of start cycles that have gates.
+func (s *Schedule) Cycles() []int {
+	set := map[int]bool{}
+	for _, sg := range s.Gates {
+		set[sg.Cycle] = true
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ScheduleCircuit assigns start cycles to every gate of c under the
+// platform's gate durations, the qubit-dependency constraint, and the
+// platform's control-channel limit (MaxParallelOps). Barriers synchronise
+// all qubits.
+func ScheduleCircuit(c *circuit.Circuit, p *Platform, policy Policy) (*Schedule, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	asap := scheduleASAP(c, p)
+	if policy == ASAP {
+		return asap, nil
+	}
+	// ALAP: schedule the reversed gate list ASAP, then mirror the times
+	// inside the same makespan.
+	rev := circuit.New(c.Name, c.NumQubits)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		rev.AddGate(c.Gates[i].Clone())
+	}
+	revSched := scheduleASAP(rev, p)
+	makespan := revSched.Makespan
+	out := &Schedule{NumQubits: c.NumQubits, Policy: ALAP, Makespan: makespan}
+	// revSched.Gates[i] corresponds to c.Gates[len-1-i].
+	n := len(c.Gates)
+	out.Gates = make([]ScheduledGate, n)
+	for i, sg := range revSched.Gates {
+		mirrored := ScheduledGate{
+			Gate:     sg.Gate,
+			Duration: sg.Duration,
+			Cycle:    makespan - sg.Cycle - sg.Duration,
+		}
+		out.Gates[n-1-i] = mirrored
+	}
+	sort.SliceStable(out.Gates, func(i, j int) bool { return out.Gates[i].Cycle < out.Gates[j].Cycle })
+	return out, nil
+}
+
+func scheduleASAP(c *circuit.Circuit, p *Platform) *Schedule {
+	qubitFree := make([]int, c.NumQubits) // first free cycle per qubit
+	// busy[cycle] counts operations executing in that cycle, for the
+	// control-channel constraint.
+	busy := map[int]int{}
+	out := &Schedule{NumQubits: c.NumQubits, Policy: ASAP}
+	allFree := func() int {
+		max := 0
+		for _, f := range qubitFree {
+			if f > max {
+				max = f
+			}
+		}
+		return max
+	}
+	for _, g := range c.Gates {
+		dur := p.Duration(g.Name)
+		var start int
+		var qubits []int
+		switch g.Name {
+		case circuit.OpBarrier:
+			// Synchronise: all qubits become free at the same cycle.
+			t := allFree()
+			for q := range qubitFree {
+				qubitFree[q] = t
+			}
+			continue
+		case circuit.OpMeasureAll:
+			start = allFree()
+			qubits = nil // occupies every qubit
+		default:
+			qubits = g.Qubits
+			for _, q := range qubits {
+				if qubitFree[q] > start {
+					start = qubitFree[q]
+				}
+			}
+			// A conditional gate additionally depends on the measurement
+			// that produced its classical bit (keyed by qubit index).
+			if g.HasCond && g.CondBit < len(qubitFree) && qubitFree[g.CondBit] > start {
+				start = qubitFree[g.CondBit]
+			}
+		}
+		// Control-channel limit: find the earliest start ≥ start whose
+		// whole duration window has capacity.
+		if p.MaxParallelOps > 0 {
+			for {
+				ok := true
+				for t := start; t < start+dur; t++ {
+					if busy[t] >= p.MaxParallelOps {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					break
+				}
+				start++
+			}
+			for t := start; t < start+dur; t++ {
+				busy[t]++
+			}
+		}
+		end := start + dur
+		if qubits == nil {
+			for q := range qubitFree {
+				qubitFree[q] = end
+			}
+		} else {
+			for _, q := range qubits {
+				qubitFree[q] = end
+			}
+		}
+		if end > out.Makespan {
+			out.Makespan = end
+		}
+		out.Gates = append(out.Gates, ScheduledGate{Gate: g.Clone(), Cycle: start, Duration: dur})
+	}
+	sort.SliceStable(out.Gates, func(i, j int) bool { return out.Gates[i].Cycle < out.Gates[j].Cycle })
+	return out
+}
+
+// Validate checks that no two gates overlap on a qubit and the channel
+// limit holds.
+func (s *Schedule) Validate(p *Platform) error {
+	type interval struct{ start, end, idx int }
+	perQubit := map[int][]interval{}
+	for i, sg := range s.Gates {
+		qs := sg.Gate.Qubits
+		if sg.Gate.Name == circuit.OpMeasureAll {
+			qs = nil
+			for q := 0; q < s.NumQubits; q++ {
+				qs = append(qs, q)
+			}
+		}
+		for _, q := range qs {
+			perQubit[q] = append(perQubit[q], interval{sg.Cycle, sg.Cycle + sg.Duration, i})
+		}
+	}
+	for q, ivs := range perQubit {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].start < ivs[i-1].end {
+				return fmt.Errorf("compiler: schedule overlap on qubit %d between gates %d and %d",
+					q, ivs[i-1].idx, ivs[i].idx)
+			}
+		}
+	}
+	if p != nil && p.MaxParallelOps > 0 {
+		busy := map[int]int{}
+		for _, sg := range s.Gates {
+			for t := sg.Cycle; t < sg.Cycle+sg.Duration; t++ {
+				busy[t]++
+				if busy[t] > p.MaxParallelOps {
+					return fmt.Errorf("compiler: channel limit exceeded at cycle %d", t)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package core assembles the full-stack quantum accelerator of Fig 2 and
+// Fig 3: application logic expressed in OpenQL, compiled through cQASM to
+// either the QX simulator directly (perfect qubits, application
+// development) or through eQASM and the micro-architecture to a noisy QX
+// backend (realistic qubits, hardware bring-up). This is the paper's
+// primary contribution — the two full-stack modes over one toolchain.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/microarch"
+	"repro/internal/openql"
+	"repro/internal/qx"
+)
+
+// Stack is one configured full-stack target.
+type Stack struct {
+	Name      string
+	Mode      openql.QubitMode
+	Platform  *compiler.Platform
+	Microcode *microarch.Config // nil for perfect-qubit stacks
+	Noise     *qx.NoiseModel    // nil for perfect qubits
+	Seed      int64
+	// Optimize and Policy configure the compiler.
+	Optimize bool
+	Policy   compiler.Policy
+	Mapping  compiler.MapOptions
+}
+
+// NewPerfect returns the application-development stack of Fig 2(b):
+// perfect qubits, all-to-all connectivity, direct QX execution.
+func NewPerfect(n int, seed int64) *Stack {
+	return &Stack{
+		Name:     "perfect",
+		Mode:     openql.PerfectQubits,
+		Platform: compiler.Perfect(n),
+		Seed:     seed,
+		Optimize: true,
+	}
+}
+
+// NewSuperconducting returns the experimental stack of Fig 2(a)/Fig 6:
+// Surface-17 transmon platform, eQASM, micro-architecture, realistic
+// noise.
+func NewSuperconducting(seed int64) *Stack {
+	return &Stack{
+		Name:      "superconducting",
+		Mode:      openql.RealisticQubits,
+		Platform:  compiler.Superconducting(),
+		Microcode: microarch.SuperconductingConfig(),
+		Noise:     qx.Superconducting(),
+		Seed:      seed,
+		Optimize:  true,
+	}
+}
+
+// NewSemiconducting returns the spin-qubit retarget of the same
+// micro-architecture (§3.1): only the platform and microcode configs
+// change.
+func NewSemiconducting(seed int64) *Stack {
+	return &Stack{
+		Name:      "semiconducting",
+		Mode:      openql.RealisticQubits,
+		Platform:  compiler.Semiconducting(),
+		Microcode: microarch.SemiconductingConfig(),
+		Noise: &qx.NoiseModel{
+			DepolarizingProb:         2e-3,
+			TwoQubitDepolarizingProb: 1e-2,
+			T1:                       80_000,
+			T2:                       40_000,
+			GateTimeNs:               100,
+			ReadoutError:             0.03,
+		},
+		Seed:     seed,
+		Optimize: true,
+	}
+}
+
+// Report is the result of a full-stack execution: every artefact from
+// source to measurement statistics.
+type Report struct {
+	Stack    string
+	Mode     openql.QubitMode
+	CQASM    string
+	EQASM    string // empty for perfect stacks
+	Result   *qx.Result
+	Trace    *microarch.Trace    // nil for perfect stacks
+	Schedule *compiler.Schedule  // timed program
+	Mapping  *compiler.MapResult // nil without topology
+	// WallNs is the modelled execution time of one shot in nanoseconds.
+	WallNs int
+}
+
+// Execute compiles and runs an OpenQL program on the stack.
+func (s *Stack) Execute(p *openql.Program, shots int) (*Report, error) {
+	if p.NumQubits > s.Platform.NumQubits {
+		return nil, fmt.Errorf("core: program needs %d qubits, stack %q has %d",
+			p.NumQubits, s.Name, s.Platform.NumQubits)
+	}
+	compiled, err := p.Compile(openql.CompileOptions{
+		Mode:     s.Mode,
+		Platform: s.Platform,
+		Optimize: s.Optimize,
+		Policy:   s.Policy,
+		Mapping:  s.Mapping,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{
+		Stack:    s.Name,
+		Mode:     s.Mode,
+		CQASM:    compiled.CQASM,
+		Schedule: compiled.Schedule,
+		Mapping:  compiled.MapResult,
+		WallNs:   compiled.Schedule.Makespan * s.Platform.CycleTimeNs,
+	}
+	if s.Mode == openql.PerfectQubits {
+		sim := qx.New(s.Seed)
+		res, err := sim.Run(compiled.Circuit, shots)
+		if err != nil {
+			return nil, err
+		}
+		report.Result = toLogical(res, p.NumQubits, compiled.MapResult)
+		return report, nil
+	}
+	// Realistic path: eQASM through the micro-architecture onto noisy QX.
+	machine := microarch.New(s.Microcode, qx.NewNoisy(s.Seed, s.Noise))
+	run, err := machine.Execute(compiled.EQASM, shots)
+	if err != nil {
+		return nil, err
+	}
+	report.EQASM = compiled.EQASM.String()
+	report.Result = toLogical(run.Result, p.NumQubits, compiled.MapResult)
+	report.Trace = run.Trace
+	if run.Trace != nil {
+		report.WallNs = run.Trace.TotalNs
+	}
+	return report, nil
+}
+
+// toLogical translates outcome bitmasks from physical qubit positions
+// back to the program's logical qubit order, using the mapper's
+// measure-time bindings. Without a mapping the result passes through.
+func toLogical(res *qx.Result, logicalQubits int, mr *compiler.MapResult) *qx.Result {
+	if res == nil || mr == nil {
+		return res
+	}
+	out := &qx.Result{
+		NumQubits:          logicalQubits,
+		Shots:              res.Shots,
+		Counts:             map[int]int{},
+		GateErrorsInjected: res.GateErrorsInjected,
+	}
+	for idx, count := range res.Counts {
+		logical := 0
+		for l := 0; l < logicalQubits; l++ {
+			p, ok := mr.MeasurePhys[l]
+			if !ok {
+				continue
+			}
+			if idx&(1<<uint(p)) != 0 {
+				logical |= 1 << uint(l)
+			}
+		}
+		out.Counts[logical] += count
+	}
+	return out
+}

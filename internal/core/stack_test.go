@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/openql"
+)
+
+func bell() *openql.Program {
+	p := openql.NewProgram("bell", 2)
+	p.AddKernel(openql.NewKernel("entangle", 2).H(0).CNOT(0, 1).Measure(0).Measure(1))
+	return p
+}
+
+func TestPerfectStackBell(t *testing.T) {
+	s := NewPerfect(2, 1)
+	rep, err := s.Execute(bell(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EQASM != "" || rep.Trace != nil {
+		t.Error("perfect stack should not touch the micro-architecture")
+	}
+	p00 := rep.Result.Probability(0)
+	p11 := rep.Result.Probability(3)
+	if math.Abs(p00-0.5) > 0.05 || math.Abs(p11-0.5) > 0.05 {
+		t.Errorf("Bell stats p00=%v p11=%v", p00, p11)
+	}
+	if !strings.Contains(rep.CQASM, "cnot") {
+		t.Error("cQASM artefact missing")
+	}
+	if rep.WallNs <= 0 {
+		t.Error("no modelled wall time")
+	}
+}
+
+func TestSuperconductingStackBell(t *testing.T) {
+	s := NewSuperconducting(2)
+	const shots = 500
+	rep, err := s.Execute(bell(), shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EQASM == "" || rep.Trace == nil {
+		t.Fatal("realistic stack must produce eQASM and a pulse trace")
+	}
+	// Realistic qubits: correct outcomes dominate but errors exist. The
+	// Bell pair routes through Surface-17 ancillas (data qubits are not
+	// directly coupled), so several noisy CZs are involved.
+	good := rep.Result.Counts[0] + rep.Result.Counts[3]
+	if good == shots {
+		t.Error("no errors on realistic qubits — noise not applied")
+	}
+	if float64(good)/shots < 0.5 {
+		t.Errorf("too noisy: %d/%d correlated outcomes", good, shots)
+	}
+	if !strings.Contains(rep.EQASM, "bs ") {
+		t.Error("eQASM bundles missing")
+	}
+	if rep.Mapping == nil {
+		t.Error("Surface-17 stack should report mapping")
+	}
+}
+
+func TestSemiconductingRetarget(t *testing.T) {
+	// The same program runs on the semiconducting stack; wall-clock per
+	// shot must be longer (100 ns cycles vs 20 ns).
+	scRep, err := NewSuperconducting(3).Execute(bell(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	semiRep, err := NewSemiconducting(3).Execute(bell(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if semiRep.WallNs <= scRep.WallNs {
+		t.Errorf("semiconducting (%d ns) should be slower than superconducting (%d ns)",
+			semiRep.WallNs, scRep.WallNs)
+	}
+}
+
+func TestStackRejectsOversizedProgram(t *testing.T) {
+	p := openql.NewProgram("big", 64)
+	p.AddKernel(openql.NewKernel("k", 64).H(63))
+	if _, err := NewSuperconducting(1).Execute(p, 10); err == nil {
+		t.Error("64-qubit program accepted on 17-qubit stack")
+	}
+}
+
+func TestPerfectVsRealisticFidelity(t *testing.T) {
+	// E2: the same logic on both stacks; perfect gives ideal stats,
+	// realistic degrades — the paper's Fig 2 distinction.
+	ghz := openql.NewProgram("ghz4", 4)
+	k := openql.NewKernel("g", 4).H(0).CNOT(0, 1).CNOT(1, 2).CNOT(2, 3).
+		Measure(0).Measure(1).Measure(2).Measure(3)
+	ghz.AddKernel(k)
+
+	perfect, err := NewPerfect(4, 5).Execute(ghz, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.Result.Counts[0]+perfect.Result.Counts[15] != 400 {
+		t.Error("perfect GHZ has spurious outcomes")
+	}
+	realistic, err := NewSuperconducting(5).Execute(ghz, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodR := realistic.Result.Counts[0] + realistic.Result.Counts[15]
+	if goodR >= 400 {
+		t.Error("realistic GHZ shows no degradation")
+	}
+}

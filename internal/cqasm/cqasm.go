@@ -1,0 +1,122 @@
+// Package cqasm implements the common quantum assembly language of the
+// stack (§2.4): a textual, platform-independent representation of quantum
+// circuits produced by the OpenQL compiler and executed by QX. It supports
+// the core of cQASM 1.0: a version header, a qubit declaration,
+// subcircuits with iteration counts, parallel bundles in braces, gate
+// parameters (including pi expressions) and comments.
+package cqasm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Program is a parsed cQASM source: a qubit register plus an ordered list
+// of subcircuits.
+type Program struct {
+	Version     string
+	NumQubits   int
+	Subcircuits []Subcircuit
+}
+
+// Subcircuit is a named block of bundles, optionally repeated.
+type Subcircuit struct {
+	Name       string
+	Iterations int // 1 if not specified
+	Bundles    []Bundle
+}
+
+// Bundle is one source line: one gate, or several gates executed in
+// parallel (brace syntax). Gates in a bundle must touch disjoint qubits.
+type Bundle struct {
+	Gates []circuit.Gate
+}
+
+// Flatten expands the program into a single flat circuit: subcircuit
+// iterations are unrolled and bundles serialised in order (semantically
+// equivalent because bundled gates commute by disjointness).
+func (p *Program) Flatten() (*circuit.Circuit, error) {
+	c := circuit.New("cqasm", p.NumQubits)
+	for _, sub := range p.Subcircuits {
+		iters := sub.Iterations
+		if iters < 1 {
+			iters = 1
+		}
+		for it := 0; it < iters; it++ {
+			for _, b := range sub.Bundles {
+				for _, g := range b.Gates {
+					for _, q := range g.Qubits {
+						if q >= p.NumQubits {
+							return nil, fmt.Errorf("cqasm: qubit %d exceeds register size %d", q, p.NumQubits)
+						}
+					}
+					c.AddGate(g.Clone())
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Validate checks register bounds, bundle disjointness and gate validity.
+func (p *Program) Validate() error {
+	if p.NumQubits <= 0 {
+		return fmt.Errorf("cqasm: missing or invalid qubits declaration")
+	}
+	for _, sub := range p.Subcircuits {
+		for bi, b := range sub.Bundles {
+			seen := map[int]bool{}
+			for _, g := range b.Gates {
+				if err := g.Validate(); err != nil {
+					return fmt.Errorf("cqasm: subcircuit %s bundle %d: %w", sub.Name, bi, err)
+				}
+				for _, q := range g.Qubits {
+					if q >= p.NumQubits {
+						return fmt.Errorf("cqasm: subcircuit %s bundle %d: qubit %d out of range", sub.Name, bi, q)
+					}
+					if seen[q] {
+						return fmt.Errorf("cqasm: subcircuit %s bundle %d: qubit %d used twice in parallel bundle", sub.Name, bi, q)
+					}
+					seen[q] = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FromCircuit wraps a flat circuit as a single-subcircuit program, one
+// gate per bundle.
+func FromCircuit(c *circuit.Circuit) *Program {
+	name := c.Name
+	if name == "" {
+		name = "main"
+	}
+	sub := Subcircuit{Name: sanitizeName(name), Iterations: 1}
+	for _, g := range c.Gates {
+		sub.Bundles = append(sub.Bundles, Bundle{Gates: []circuit.Gate{g.Clone()}})
+	}
+	return &Program{
+		Version:     "1.0",
+		NumQubits:   c.NumQubits,
+		Subcircuits: []Subcircuit{sub},
+	}
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "main"
+	}
+	return b.String()
+}

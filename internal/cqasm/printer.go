@@ -1,0 +1,72 @@
+package cqasm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Print renders a Program as cQASM source text that Parse accepts
+// (round-trip safe).
+func Print(p *Program) string {
+	var b strings.Builder
+	version := p.Version
+	if version == "" {
+		version = "1.0"
+	}
+	fmt.Fprintf(&b, "version %s\n", version)
+	fmt.Fprintf(&b, "qubits %d\n", p.NumQubits)
+	for _, sub := range p.Subcircuits {
+		b.WriteString("\n")
+		if sub.Iterations > 1 {
+			fmt.Fprintf(&b, ".%s(%d)\n", sub.Name, sub.Iterations)
+		} else {
+			fmt.Fprintf(&b, ".%s\n", sub.Name)
+		}
+		for _, bundle := range sub.Bundles {
+			b.WriteString("    " + formatBundle(bundle) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// PrintCircuit renders a flat circuit as cQASM.
+func PrintCircuit(c *circuit.Circuit) string {
+	return Print(FromCircuit(c))
+}
+
+func formatBundle(bundle Bundle) string {
+	if len(bundle.Gates) == 1 {
+		return formatGate(bundle.Gates[0])
+	}
+	parts := make([]string, len(bundle.Gates))
+	for i, g := range bundle.Gates {
+		parts[i] = formatGate(g)
+	}
+	return "{ " + strings.Join(parts, " | ") + " }"
+}
+
+func formatGate(g circuit.Gate) string {
+	var parts []string
+	name := g.Name
+	if g.HasCond {
+		name = "c-" + name
+		parts = append(parts, fmt.Sprintf("b[%d]", g.CondBit))
+	}
+	for _, q := range g.Qubits {
+		parts = append(parts, fmt.Sprintf("q[%d]", q))
+	}
+	for _, p := range g.Params {
+		parts = append(parts, formatFloat(p))
+	}
+	if len(parts) == 0 {
+		return name
+	}
+	return name + " " + strings.Join(parts, ", ")
+}
+
+func formatFloat(v float64) string {
+	// Full precision so parse→print→parse is exact.
+	return strings.TrimSpace(fmt.Sprintf("%.17g", v))
+}

@@ -1,0 +1,171 @@
+// Package density implements an exact density-matrix simulator for small
+// registers: unitary evolution ρ → UρU† and Kraus-channel application
+// ρ → ΣKρK†. It is the reference against which the QX simulator's
+// quantum-trajectory noise unravelling is validated (§2.7: "investigate
+// beyond simplistic error models") — trajectories must converge to the
+// density-matrix prediction.
+package density
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/quantum"
+)
+
+// Simulator holds an n-qubit density matrix.
+type Simulator struct {
+	n   int
+	rho quantum.Matrix
+}
+
+// New returns the simulator initialised to |0...0><0...0|. The density
+// matrix costs 4ⁿ complex entries; n is capped at 10.
+func New(n int) *Simulator {
+	if n < 1 || n > 10 {
+		panic(fmt.Sprintf("density: unsupported qubit count %d", n))
+	}
+	rho := quantum.NewMatrix(1 << uint(n))
+	rho.Set(0, 0, 1)
+	return &Simulator{n: n, rho: rho}
+}
+
+// NumQubits returns the register size.
+func (s *Simulator) NumQubits() int { return s.n }
+
+// Rho returns the current density matrix (not copied; treat as
+// read-only).
+func (s *Simulator) Rho() quantum.Matrix { return s.rho }
+
+// embed builds the full-register operator of a k-qubit gate matrix.
+func (s *Simulator) embed(u quantum.Matrix, qubits []int) quantum.Matrix {
+	dim := 1 << uint(s.n)
+	full := quantum.NewMatrix(dim)
+	// Column c of the full operator is U applied to basis state c.
+	for c := 0; c < dim; c++ {
+		st := quantum.NewState(s.n)
+		st.PrepareBasis(c)
+		st.Apply(u, qubits...)
+		for r := 0; r < dim; r++ {
+			full.Set(r, c, st.Amplitude(r))
+		}
+	}
+	return full
+}
+
+// ApplyUnitary applies a gate unitary to the given qubits.
+func (s *Simulator) ApplyUnitary(u quantum.Matrix, qubits ...int) {
+	full := s.embed(u, qubits)
+	s.rho = full.Mul(s.rho).Mul(full.Dagger())
+}
+
+// ApplyChannel applies a single-qubit Kraus channel {K_i} to qubit q:
+// ρ → Σ_i K_i ρ K_i†.
+func (s *Simulator) ApplyChannel(kraus []quantum.Matrix, q int) {
+	dim := 1 << uint(s.n)
+	out := quantum.NewMatrix(dim)
+	for _, k := range kraus {
+		full := s.embed(k, []int{q})
+		term := full.Mul(s.rho).Mul(full.Dagger())
+		out = out.Add(term)
+	}
+	s.rho = out
+}
+
+// RunCircuit executes a measurement-free circuit, applying noise after
+// each gate when channels is non-nil (channels receives the gate and
+// returns per-operand Kraus sets).
+func (s *Simulator) RunCircuit(c *circuit.Circuit, channels func(g circuit.Gate) [][]quantum.Matrix) error {
+	if c.NumQubits != s.n {
+		return fmt.Errorf("density: circuit has %d qubits, simulator %d", c.NumQubits, s.n)
+	}
+	for _, g := range c.Gates {
+		if !g.IsUnitary() {
+			return fmt.Errorf("density: non-unitary op %q unsupported", g.Name)
+		}
+		u, err := g.Matrix()
+		if err != nil {
+			return err
+		}
+		s.ApplyUnitary(u, g.Qubits...)
+		if channels != nil {
+			sets := channels(g)
+			for i, q := range g.Qubits {
+				if i < len(sets) && sets[i] != nil {
+					s.ApplyChannel(sets[i], q)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Probabilities returns the diagonal of ρ (measurement distribution in
+// the computational basis).
+func (s *Simulator) Probabilities() []float64 {
+	dim := 1 << uint(s.n)
+	out := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		out[i] = real(s.rho.At(i, i))
+	}
+	return out
+}
+
+// Trace returns tr ρ (1 for a valid state).
+func (s *Simulator) Trace() float64 { return real(s.rho.Trace()) }
+
+// Purity returns tr ρ², 1 for pure states and 1/2ⁿ for the maximally
+// mixed state.
+func (s *Simulator) Purity() float64 {
+	return real(s.rho.Mul(s.rho).Trace())
+}
+
+// Fidelity returns <ψ|ρ|ψ> for a pure reference state.
+func (s *Simulator) Fidelity(psi *quantum.State) float64 {
+	dim := 1 << uint(s.n)
+	var f complex128
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			f += cmplx.Conj(psi.Amplitude(r)) * s.rho.At(r, c) * psi.Amplitude(c)
+		}
+	}
+	return real(f)
+}
+
+// Standard single-qubit channels.
+
+// DepolarizingChannel returns the Kraus set of the depolarising channel
+// matching qx's trajectory model: with probability p a uniformly random
+// Pauli is applied.
+func DepolarizingChannel(p float64) []quantum.Matrix {
+	id := quantum.I2.Scale(complex(math.Sqrt(1-p), 0))
+	x := quantum.X.Scale(complex(math.Sqrt(p/3), 0))
+	y := quantum.Y.Scale(complex(math.Sqrt(p/3), 0))
+	z := quantum.Z.Scale(complex(math.Sqrt(p/3), 0))
+	return []quantum.Matrix{id, x, y, z}
+}
+
+// AmplitudeDampingChannel returns the T1 relaxation channel with decay
+// probability gamma.
+func AmplitudeDampingChannel(gamma float64) []quantum.Matrix {
+	k0 := quantum.MatrixFromRows(
+		[]complex128{1, 0},
+		[]complex128{0, complex(math.Sqrt(1-gamma), 0)},
+	)
+	k1 := quantum.MatrixFromRows(
+		[]complex128{0, complex(math.Sqrt(gamma), 0)},
+		[]complex128{0, 0},
+	)
+	return []quantum.Matrix{k0, k1}
+}
+
+// PhaseFlipChannel returns the dephasing channel applying Z with
+// probability lambda (the qx trajectory model's dephasing step).
+func PhaseFlipChannel(lambda float64) []quantum.Matrix {
+	return []quantum.Matrix{
+		quantum.I2.Scale(complex(math.Sqrt(1-lambda), 0)),
+		quantum.Z.Scale(complex(math.Sqrt(lambda), 0)),
+	}
+}

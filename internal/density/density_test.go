@@ -1,0 +1,185 @@
+package density
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/quantum"
+	"repro/internal/qx"
+)
+
+func TestPureEvolutionMatchesStateVector(t *testing.T) {
+	c := circuit.New("mix", 3)
+	c.H(0).CNOT(0, 1).T(1).CNOT(1, 2).RY(2, 0.7)
+	sim := New(3)
+	if err := sim.RunCircuit(c, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Reference pure state.
+	st := quantum.NewState(3)
+	for _, g := range c.Gates {
+		m, _ := g.Matrix()
+		st.Apply(m, g.Qubits...)
+	}
+	if f := sim.Fidelity(st); math.Abs(f-1) > 1e-9 {
+		t.Errorf("pure evolution fidelity %v", f)
+	}
+	if p := sim.Purity(); math.Abs(p-1) > 1e-9 {
+		t.Errorf("purity %v, want 1", p)
+	}
+	probs := sim.Probabilities()
+	ref := st.Probabilities()
+	for i := range probs {
+		if math.Abs(probs[i]-ref[i]) > 1e-9 {
+			t.Fatalf("probability %d differs: %v vs %v", i, probs[i], ref[i])
+		}
+	}
+}
+
+func TestChannelsPreserveTrace(t *testing.T) {
+	channels := map[string][]quantum.Matrix{
+		"depolarizing": DepolarizingChannel(0.2),
+		"ampdamp":      AmplitudeDampingChannel(0.3),
+		"phaseflip":    PhaseFlipChannel(0.25),
+	}
+	for name, ch := range channels {
+		// Kraus completeness: Σ K†K = I.
+		sum := quantum.NewMatrix(2)
+		for _, k := range ch {
+			sum = sum.Add(k.Dagger().Mul(k))
+		}
+		if !sum.Equal(quantum.Identity(2), 1e-12) {
+			t.Errorf("%s: Kraus set not trace preserving", name)
+		}
+		sim := New(2)
+		sim.ApplyUnitary(quantum.H, 0)
+		sim.ApplyUnitary(quantum.CNOT, 0, 1)
+		sim.ApplyChannel(ch, 0)
+		if tr := sim.Trace(); math.Abs(tr-1) > 1e-9 {
+			t.Errorf("%s: trace %v after channel", name, tr)
+		}
+	}
+}
+
+func TestDepolarizingReducesPurity(t *testing.T) {
+	sim := New(1)
+	sim.ApplyUnitary(quantum.H, 0)
+	before := sim.Purity()
+	sim.ApplyChannel(DepolarizingChannel(0.5), 0)
+	after := sim.Purity()
+	if after >= before {
+		t.Errorf("depolarizing did not mix: %v → %v", before, after)
+	}
+}
+
+func TestAmplitudeDampingFixedPoint(t *testing.T) {
+	// Repeated amplitude damping drives any state to |0>.
+	sim := New(1)
+	sim.ApplyUnitary(quantum.X, 0)
+	for i := 0; i < 60; i++ {
+		sim.ApplyChannel(AmplitudeDampingChannel(0.2), 0)
+	}
+	if p0 := sim.Probabilities()[0]; p0 < 0.999 {
+		t.Errorf("P(0) after heavy damping = %v", p0)
+	}
+}
+
+// The central validation: QX's stochastic trajectories converge to the
+// density-matrix prediction for the same depolarising model.
+func TestTrajectoriesConvergeToDensityMatrix(t *testing.T) {
+	const p = 0.08
+	c := circuit.New("noisy", 2)
+	c.H(0).CNOT(0, 1).X(1).CZ(0, 1)
+
+	dm := New(2)
+	err := dm.RunCircuit(c, func(g circuit.Gate) [][]quantum.Matrix {
+		sets := make([][]quantum.Matrix, len(g.Qubits))
+		prob := p
+		if len(g.Qubits) == 2 {
+			prob = 2 * p // matches qx.Depolarizing's two-qubit setting
+		}
+		for i := range sets {
+			sets[i] = DepolarizingChannel(prob)
+		}
+		return sets
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dm.Probabilities()
+
+	traj := qx.NewNoisy(33, qx.Depolarizing(p))
+	const shots = 40000
+	res, err := traj.Run(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range want {
+		got := float64(res.Counts[idx]) / shots
+		if math.Abs(got-want[idx]) > 0.01 {
+			t.Errorf("outcome %d: trajectories %.4f vs density matrix %.4f", idx, got, want[idx])
+		}
+	}
+}
+
+func TestAmplitudeDampingTrajectoriesConverge(t *testing.T) {
+	// Single qubit in |1> decaying: trajectory unravelling vs exact
+	// channel, one step.
+	const gamma = 0.35
+	dm := New(1)
+	dm.ApplyUnitary(quantum.X, 0)
+	dm.ApplyChannel(AmplitudeDampingChannel(gamma), 0)
+	want1 := dm.Probabilities()[1] // = 1 - gamma
+
+	noise := &qx.NoiseModel{T1: 1, GateTimeNs: -math.Log(1 - gamma)} // gamma = 1-exp(-t/T1)
+	sim := qx.NewNoisy(44, noise)
+	c := circuit.New("decay", 1).X(0)
+	const shots = 30000
+	res, err := sim.Run(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1 := float64(res.Counts[1]) / shots
+	if math.Abs(got1-want1) > 0.01 {
+		t.Errorf("P(1): trajectories %.4f vs density matrix %.4f", got1, want1)
+	}
+}
+
+// Property: purity never exceeds 1 and never drops below 1/2ⁿ under any
+// sequence of the standard channels.
+func TestPurityBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 1 + int(seed%2+2)%2
+		sim := New(n)
+		sim.ApplyUnitary(quantum.H, 0)
+		params := []float64{0.1, 0.3, 0.5}
+		for i, p := range params {
+			switch (int(seed) + i) % 3 {
+			case 0:
+				sim.ApplyChannel(DepolarizingChannel(p), i%n)
+			case 1:
+				sim.ApplyChannel(AmplitudeDampingChannel(p), i%n)
+			default:
+				sim.ApplyChannel(PhaseFlipChannel(p), i%n)
+			}
+		}
+		pur := sim.Purity()
+		min := 1 / math.Pow(2, float64(n))
+		return pur <= 1+1e-9 && pur >= min-1e-9 && math.Abs(sim.Trace()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunCircuitRejectsMeasurement(t *testing.T) {
+	c := circuit.New("m", 1).H(0).Measure(0)
+	if err := New(1).RunCircuit(c, nil); err == nil {
+		t.Error("measurement accepted")
+	}
+	if err := New(2).RunCircuit(circuit.New("wrong", 1).H(0), nil); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

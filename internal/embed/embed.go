@@ -1,0 +1,345 @@
+// Package embed implements minor embedding of problem graphs into
+// hardware topologies (§4.2): combining several physical qubits into
+// chains that act as one logical qubit. It provides the deterministic
+// native clique embedding of K_n into Chimera (the capacity bound behind
+// the paper's "9 cities max on a D-Wave 2000Q") and a greedy heuristic for
+// sparser graphs.
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Embedding maps each logical variable to a chain of physical qubits.
+type Embedding struct {
+	Chains map[int][]int
+}
+
+// PhysicalQubits returns the total number of physical qubits used.
+func (e *Embedding) PhysicalQubits() int {
+	total := 0
+	for _, chain := range e.Chains {
+		total += len(chain)
+	}
+	return total
+}
+
+// MaxChainLength returns the longest chain (longer chains break more
+// easily on hardware).
+func (e *Embedding) MaxChainLength() int {
+	max := 0
+	for _, chain := range e.Chains {
+		if len(chain) > max {
+			max = len(chain)
+		}
+	}
+	return max
+}
+
+// Validate checks that the embedding is a proper minor embedding of the
+// given logical adjacency into the target: chains are non-empty,
+// vertex-disjoint and connected, and every logical edge has at least one
+// physical coupler between the two chains.
+func (e *Embedding) Validate(adj [][]int, target *topology.Topology) error {
+	used := map[int]int{}
+	for v, chain := range e.Chains {
+		if len(chain) == 0 {
+			return fmt.Errorf("embed: empty chain for variable %d", v)
+		}
+		for _, q := range chain {
+			if q < 0 || q >= target.N {
+				return fmt.Errorf("embed: chain of %d uses invalid qubit %d", v, q)
+			}
+			if owner, taken := used[q]; taken {
+				return fmt.Errorf("embed: qubit %d shared by variables %d and %d", q, owner, v)
+			}
+			used[q] = v
+		}
+		if !chainConnected(chain, target) {
+			return fmt.Errorf("embed: chain of variable %d is disconnected", v)
+		}
+	}
+	for a, neighbors := range adj {
+		for _, b := range neighbors {
+			if a >= b {
+				continue
+			}
+			ca, okA := e.Chains[a]
+			cb, okB := e.Chains[b]
+			if !okA || !okB {
+				return fmt.Errorf("embed: edge (%d,%d) references unmapped variable", a, b)
+			}
+			if !chainsCoupled(ca, cb, target) {
+				return fmt.Errorf("embed: no coupler for logical edge (%d,%d)", a, b)
+			}
+		}
+	}
+	return nil
+}
+
+func chainConnected(chain []int, t *topology.Topology) bool {
+	if len(chain) == 1 {
+		return true
+	}
+	inChain := map[int]bool{}
+	for _, q := range chain {
+		inChain[q] = true
+	}
+	visited := map[int]bool{chain[0]: true}
+	queue := []int{chain[0]}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.Neighbors(u) {
+			if inChain[v] && !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return len(visited) == len(chain)
+}
+
+func chainsCoupled(a, b []int, t *topology.Topology) bool {
+	for _, qa := range a {
+		for _, qb := range b {
+			if t.Adjacent(qa, qb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CliqueEmbedChimera returns the deterministic native clique embedding of
+// K_n into Chimera C(m, m, k): each logical variable occupies an L-shaped
+// chain of one half-row and one half-column meeting at a diagonal cell.
+// The construction supports n ≤ k·m; chains have length ≈ n/k + 1,
+// demonstrating the quadratic physical-qubit overhead the paper reports.
+func CliqueEmbedChimera(n, m, k int) (*Embedding, error) {
+	if n > k*m {
+		return nil, fmt.Errorf("embed: K_%d exceeds clique capacity %d of chimera(%d,%d,%d)", n, k*m, m, m, k)
+	}
+	idx := func(r, c, side, o int) int { return ((r*m+c)*2+side)*k + o }
+	e := &Embedding{Chains: map[int][]int{}}
+	for v := 0; v < n; v++ {
+		block := v / k // which diagonal cell row/column the variable lives in
+		offset := v % k
+		span := n/k + 1
+		if n%k == 0 {
+			span = n / k
+		}
+		var chain []int
+		// Vertical run: left-side qubits down column `block`, rows
+		// 0..span-1.
+		for r := 0; r < span; r++ {
+			chain = append(chain, idx(r, block, 0, offset))
+		}
+		// Horizontal run: right-side qubits along row `block`, columns
+		// 0..span-1.
+		for c := 0; c < span; c++ {
+			chain = append(chain, idx(block, c, 1, offset))
+		}
+		e.Chains[v] = dedupe(chain)
+	}
+	return e, nil
+}
+
+func dedupe(xs []int) []int {
+	seen := map[int]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// GreedyEmbed attempts a heuristic minor embedding of an arbitrary
+// adjacency into the target topology: variables are placed in
+// decreasing-degree order on free qubits close to their placed
+// neighbours, extending chains along shortest free paths. Returns an
+// error when it runs out of free qubits (embedding is NP-hard; the
+// heuristic is best-effort, like the probabilistic tools the paper
+// references).
+func GreedyEmbed(adj [][]int, target *topology.Topology, seed int64) (*Embedding, error) {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		e, err := greedyEmbedOnce(adj, target, seed*31+int64(attempt))
+		if err == nil {
+			return e, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func greedyEmbedOnce(adj [][]int, target *topology.Topology, seed int64) (*Embedding, error) {
+	n := len(adj)
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Shuffle, then stable-sort by degree: ties break randomly across
+	// attempts.
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	sort.SliceStable(order, func(a, b int) bool { return len(adj[order[a]]) > len(adj[order[b]]) })
+
+	owner := make([]int, target.N) // physical → logical (-1 free)
+	for i := range owner {
+		owner[i] = -1
+	}
+	e := &Embedding{Chains: map[int][]int{}}
+
+	claim := func(v, q int) {
+		owner[q] = v
+		e.Chains[v] = append(e.Chains[v], q)
+	}
+
+	for _, v := range order {
+		// Collect already-placed neighbours.
+		var placed []int
+		for _, u := range adj[v] {
+			if _, ok := e.Chains[u]; ok {
+				placed = append(placed, u)
+			}
+		}
+		// Choose a free seed qubit minimising total distance to placed
+		// chains, with the qubit's free degree as a tie-breaker (room to
+		// grow chains later).
+		seedQ := -1
+		bestCost := 1 << 30
+		perm := rng.Perm(target.N)
+		for _, q := range perm {
+			if owner[q] != -1 {
+				continue
+			}
+			cost := 0
+			feasible := true
+			for _, u := range placed {
+				d := chainDistance(q, e.Chains[u], target)
+				if d < 0 {
+					feasible = false
+					break
+				}
+				cost += d * 4
+			}
+			if !feasible {
+				continue
+			}
+			for _, nb := range target.Neighbors(q) {
+				if owner[nb] != -1 {
+					cost++ // crowded neighbourhood
+				}
+			}
+			if cost < bestCost {
+				bestCost = cost
+				seedQ = q
+			}
+		}
+		if seedQ == -1 {
+			return nil, fmt.Errorf("embed: no free qubit for variable %d", v)
+		}
+		claim(v, seedQ)
+		// Connect to each placed neighbour, closest chain first, with a
+		// free shortest path; interior qubits join v's chain so later
+		// routes can attach anywhere along it.
+		sort.SliceStable(placed, func(a, b int) bool {
+			return chainDistance(seedQ, e.Chains[placed[a]], target) <
+				chainDistance(seedQ, e.Chains[placed[b]], target)
+		})
+		for _, u := range placed {
+			if chainsCoupled(e.Chains[v], e.Chains[u], target) {
+				continue
+			}
+			path := freePathToChain(e.Chains[v], e.Chains[u], owner, v, target)
+			if path == nil {
+				return nil, fmt.Errorf("embed: cannot route variable %d to neighbour %d", v, u)
+			}
+			for _, q := range path {
+				if owner[q] == -1 {
+					claim(v, q)
+				}
+			}
+		}
+	}
+	return e, nil
+}
+
+func chainDistance(q int, chain []int, t *topology.Topology) int {
+	best := -1
+	for _, c := range chain {
+		d := t.Distance(q, c)
+		if d >= 0 && (best < 0 || d < best) {
+			best = d
+		}
+	}
+	return best
+}
+
+// freePathToChain BFS-routes from v's chain to u's chain through free
+// qubits (or v's own); returns interior qubits to absorb into v's chain.
+func freePathToChain(from, to []int, owner []int, v int, t *topology.Topology) []int {
+	targetSet := map[int]bool{}
+	for _, q := range to {
+		targetSet[q] = true
+	}
+	prev := make([]int, t.N)
+	for i := range prev {
+		prev[i] = -2 // unvisited
+	}
+	var queue []int
+	for _, q := range from {
+		prev[q] = -1
+		queue = append(queue, q)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.Neighbors(cur) {
+			if prev[nb] != -2 {
+				continue
+			}
+			if targetSet[nb] {
+				// Reconstruct interior path from cur back to v's chain.
+				var interior []int
+				for p := cur; p != -1 && owner[p] != v; p = prev[p] {
+					interior = append(interior, p)
+				}
+				return interior
+			}
+			if owner[nb] == -1 {
+				prev[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return nil
+}
+
+// CliqueCapacityChimera returns the largest complete graph natively
+// embeddable in C(m,m,k) by the L-shaped construction (k·m), e.g. 64 for
+// the 2000Q's C(16,16,4).
+func CliqueCapacityChimera(m, k int) int { return k * m }
+
+// AutoEmbedChimera embeds an arbitrary adjacency into Chimera C(m,m,k):
+// it first attempts the greedy heuristic (cheap chains for sparse
+// graphs), then falls back to the deterministic clique embedding, which
+// covers any subgraph of K_n. This mirrors annealing tool flows, where
+// dense QUBOs (like TSP) go straight to clique embeddings.
+func AutoEmbedChimera(adj [][]int, m, k int, seed int64) (*Embedding, error) {
+	target := topology.Chimera(m, m, k)
+	if e, err := GreedyEmbed(adj, target, seed); err == nil {
+		if e.Validate(adj, target) == nil {
+			return e, nil
+		}
+	}
+	return CliqueEmbedChimera(len(adj), m, k)
+}

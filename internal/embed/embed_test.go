@@ -1,0 +1,198 @@
+package embed
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+	"repro/internal/tsp"
+)
+
+func completeAdj(n int) [][]int {
+	adj := make([][]int, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				adj[a] = append(adj[a], b)
+			}
+		}
+	}
+	return adj
+}
+
+func TestCliqueEmbedSmall(t *testing.T) {
+	m, k := 4, 4
+	target := topology.Chimera(m, m, k)
+	for n := 2; n <= k*m; n += 3 {
+		e, err := CliqueEmbedChimera(n, m, k)
+		if err != nil {
+			t.Fatalf("K_%d: %v", n, err)
+		}
+		if err := e.Validate(completeAdj(n), target); err != nil {
+			t.Errorf("K_%d: %v", n, err)
+		}
+	}
+}
+
+func TestCliqueEmbedCapacity(t *testing.T) {
+	if _, err := CliqueEmbedChimera(17, 4, 4); err == nil {
+		t.Error("K_17 in C(4,4,4) should fail (capacity 16)")
+	}
+	if got := CliqueCapacityChimera(16, 4); got != 64 {
+		t.Errorf("2000Q clique capacity = %d, want 64", got)
+	}
+}
+
+func TestCliqueEmbedDWave2000Q(t *testing.T) {
+	// The paper's capacity argument: TSP needs N² logical variables; on
+	// the 2000Q (C(16,16,4), clique capacity 64) 8 cities fit natively,
+	// 10 cities (100 > 64) never do.
+	m, k := 16, 16
+	_ = m
+	target := topology.Chimera(16, 16, 4)
+	n8 := 8 * 8
+	e, err := CliqueEmbedChimera(n8, 16, 4)
+	if err != nil {
+		t.Fatalf("64-variable clique should embed on 2000Q: %v", err)
+	}
+	if err := e.Validate(completeAdj(n8), target); err != nil {
+		t.Fatal(err)
+	}
+	if e.PhysicalQubits() > target.N {
+		t.Errorf("embedding uses %d qubits, more than %d", e.PhysicalQubits(), target.N)
+	}
+	if _, err := CliqueEmbedChimera(10*10, 16, 4); err == nil {
+		t.Error("10-city TSP (100 vars) must fail on 2000Q, as the paper states")
+	}
+	_ = k
+}
+
+func TestPhysicalQubitOverheadGrowsQuadratically(t *testing.T) {
+	// Chain length ≈ n/k+1, so physical qubits ≈ n²/k — the quadratic
+	// overhead of embedding.
+	e16, err := CliqueEmbedChimera(16, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e64, err := CliqueEmbedChimera(64, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(e64.PhysicalQubits()) / float64(e16.PhysicalQubits())
+	// 4× logical variables should need ≈16× the chain qubits within a
+	// generous band.
+	if ratio < 8 || ratio > 24 {
+		t.Errorf("overhead ratio = %v, expected roughly quadratic (≈16×)", ratio)
+	}
+	if e64.MaxChainLength() <= e16.MaxChainLength() {
+		t.Error("chains should lengthen with clique size")
+	}
+}
+
+func TestGreedyEmbedPathGraph(t *testing.T) {
+	// A path graph embeds into a grid without chains longer than needed.
+	n := 6
+	adj := make([][]int, n)
+	for i := 0; i+1 < n; i++ {
+		adj[i] = append(adj[i], i+1)
+		adj[i+1] = append(adj[i+1], i)
+	}
+	target := topology.Grid(3, 3)
+	e, err := GreedyEmbed(adj, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(adj, target); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyEmbedSmallCliqueOnChimera(t *testing.T) {
+	target := topology.Chimera(2, 2, 4)
+	adj := completeAdj(5)
+	var ok bool
+	for seed := int64(0); seed < 10; seed++ {
+		e, err := GreedyEmbed(adj, target, seed)
+		if err != nil {
+			continue
+		}
+		if err := e.Validate(adj, target); err != nil {
+			t.Fatalf("invalid embedding accepted: %v", err)
+		}
+		ok = true
+		break
+	}
+	if !ok {
+		t.Error("greedy embedder failed K_5 into C(2,2,4) on all seeds")
+	}
+}
+
+func TestGreedyEmbedFailsWhenTooBig(t *testing.T) {
+	target := topology.Grid(2, 2)
+	if _, err := GreedyEmbed(completeAdj(5), target, 1); err == nil {
+		t.Error("5 variables cannot embed in 4 qubits")
+	}
+}
+
+func TestAutoEmbedTSPGraph(t *testing.T) {
+	// The Fig 9 4-city TSP QUBO (16 variables, dense) embeds into a
+	// sufficiently large Chimera; density forces the clique fallback.
+	enc := tsp.Encode(tsp.Netherlands4(), 0)
+	adj := enc.Q.InteractionGraph()
+	target := topology.Chimera(8, 8, 4)
+	e, err := AutoEmbedChimera(adj, 8, 4, 1)
+	if err != nil {
+		t.Fatalf("auto-embed failed: %v", err)
+	}
+	if err := e.Validate(adj, target); err != nil {
+		t.Fatalf("invalid TSP embedding: %v", err)
+	}
+	// Paper's point: 16 logical variables cost far more physical qubits.
+	if e.PhysicalQubits() <= 16 {
+		t.Errorf("embedding uses %d physical qubits; expected chain overhead", e.PhysicalQubits())
+	}
+}
+
+func TestValidateCatchesBadEmbeddings(t *testing.T) {
+	target := topology.Grid(2, 2)
+	adj := [][]int{{1}, {0}}
+	// Disjoint but disconnected chain.
+	e := &Embedding{Chains: map[int][]int{0: {0, 3}, 1: {1}}}
+	if err := e.Validate(adj, target); err == nil {
+		t.Error("disconnected chain accepted")
+	}
+	// Overlapping chains.
+	e = &Embedding{Chains: map[int][]int{0: {0}, 1: {0}}}
+	if err := e.Validate(adj, target); err == nil {
+		t.Error("overlapping chains accepted")
+	}
+	// Missing coupler.
+	big := topology.Grid(1, 4)
+	e = &Embedding{Chains: map[int][]int{0: {0}, 1: {3}}}
+	if err := e.Validate(adj, big); err == nil {
+		t.Error("uncoupled logical edge accepted")
+	}
+	// Empty chain.
+	e = &Embedding{Chains: map[int][]int{0: {}, 1: {1}}}
+	if err := e.Validate(adj, target); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+// Property: every clique embedding that succeeds validates.
+func TestCliqueEmbedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m := 2 + int(seed%3+3)%3 // 2..4
+		k := 2 + int(seed%2+2)%2 // 2..3
+		target := topology.Chimera(m, m, k)
+		n := 2 + int(seed%int64(k*m-1)+int64(k*m-1))%(k*m-1)
+		e, err := CliqueEmbedChimera(n, m, k)
+		if err != nil {
+			return n > k*m
+		}
+		return e.Validate(completeAdj(n), target) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

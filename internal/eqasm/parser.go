@@ -1,0 +1,202 @@
+package eqasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads eQASM text (as produced by Program.String) back into a
+// Program. The "# qubits: n" header is required; other comments are
+// ignored.
+func Parse(src string) (*Program, error) {
+	p := &Program{Name: "parsed"}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			if strings.HasPrefix(body, "qubits:") {
+				n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(body, "qubits:")))
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("eqasm: line %d: bad qubits header", lineNo+1)
+				}
+				p.NumQubits = n
+			} else if strings.HasPrefix(body, "eqasm:") {
+				p.Name = strings.TrimSpace(strings.TrimPrefix(body, "eqasm:"))
+			}
+			continue
+		}
+		in, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("eqasm: line %d: %v", lineNo+1, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if p.NumQubits == 0 {
+		return nil, fmt.Errorf("eqasm: missing '# qubits: n' header")
+	}
+	return p, nil
+}
+
+func parseInstr(line string) (Instr, error) {
+	lower := strings.ToLower(line)
+	switch {
+	case strings.HasPrefix(lower, "smis "):
+		rest := strings.TrimSpace(line[5:])
+		reg, body, err := splitRegBody(rest, "s")
+		if err != nil {
+			return nil, err
+		}
+		qubits, err := parseIntSet(body)
+		if err != nil {
+			return nil, err
+		}
+		return SMIS{Reg: reg, Qubits: qubits}, nil
+	case strings.HasPrefix(lower, "smit "):
+		rest := strings.TrimSpace(line[5:])
+		reg, body, err := splitRegBody(rest, "t")
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := parsePairSet(body)
+		if err != nil {
+			return nil, err
+		}
+		return SMIT{Reg: reg, Pairs: pairs}, nil
+	case strings.HasPrefix(lower, "qwait "):
+		n, err := strconv.Atoi(strings.TrimSpace(line[6:]))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad qwait %q", line)
+		}
+		return QWait{Cycles: n}, nil
+	case strings.HasPrefix(lower, "bs "):
+		rest := strings.TrimSpace(line[3:])
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bundle missing operations: %q", line)
+		}
+		pre, err := strconv.Atoi(fields[0])
+		if err != nil || pre < 0 {
+			return nil, fmt.Errorf("bad bundle pre-interval in %q", line)
+		}
+		var ops []QOp
+		for _, part := range strings.Split(fields[1], "|") {
+			op, err := parseQOp(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, op)
+		}
+		return Bundle{PreWait: pre, Ops: ops}, nil
+	default:
+		return nil, fmt.Errorf("unknown instruction %q", line)
+	}
+}
+
+func splitRegBody(rest, prefix string) (int, string, error) {
+	comma := strings.Index(rest, ",")
+	if comma < 0 {
+		return 0, "", fmt.Errorf("missing register separator in %q", rest)
+	}
+	regTok := strings.TrimSpace(rest[:comma])
+	if !strings.HasPrefix(strings.ToLower(regTok), prefix) {
+		return 0, "", fmt.Errorf("expected %s register, got %q", prefix, regTok)
+	}
+	reg, err := strconv.Atoi(regTok[1:])
+	if err != nil || reg < 0 {
+		return 0, "", fmt.Errorf("bad register %q", regTok)
+	}
+	return reg, strings.TrimSpace(rest[comma+1:]), nil
+}
+
+func parseIntSet(body string) ([]int, error) {
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, "{") || !strings.HasSuffix(body, "}") {
+		return nil, fmt.Errorf("expected {…}, got %q", body)
+	}
+	inner := strings.TrimSpace(body[1 : len(body)-1])
+	if inner == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(inner, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad qubit %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePairSet(body string) ([][2]int, error) {
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, "{") || !strings.HasSuffix(body, "}") {
+		return nil, fmt.Errorf("expected {…}, got %q", body)
+	}
+	inner := strings.TrimSpace(body[1 : len(body)-1])
+	var out [][2]int
+	for inner != "" {
+		open := strings.Index(inner, "(")
+		if open < 0 {
+			break
+		}
+		close := strings.Index(inner, ")")
+		if close < open {
+			return nil, fmt.Errorf("unbalanced pair in %q", body)
+		}
+		toks := strings.Split(inner[open+1:close], ",")
+		if len(toks) != 2 {
+			return nil, fmt.Errorf("pair needs two qubits in %q", body)
+		}
+		a, errA := strconv.Atoi(strings.TrimSpace(toks[0]))
+		b, errB := strconv.Atoi(strings.TrimSpace(toks[1]))
+		if errA != nil || errB != nil || a < 0 || b < 0 {
+			return nil, fmt.Errorf("bad pair in %q", body)
+		}
+		out = append(out, [2]int{a, b})
+		inner = inner[close+1:]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty pair set %q", body)
+	}
+	return out, nil
+}
+
+func parseQOp(s string) (QOp, error) {
+	fields := strings.SplitN(s, " ", 2)
+	if len(fields) != 2 {
+		return QOp{}, fmt.Errorf("bad quantum op %q", s)
+	}
+	name := strings.ToLower(fields[0])
+	rest := strings.Split(fields[1], ",")
+	regTok := strings.TrimSpace(rest[0])
+	if len(regTok) < 2 {
+		return QOp{}, fmt.Errorf("bad register in %q", s)
+	}
+	twoQ := false
+	switch regTok[0] {
+	case 's':
+		twoQ = false
+	case 't':
+		twoQ = true
+	default:
+		return QOp{}, fmt.Errorf("bad register kind in %q", s)
+	}
+	reg, err := strconv.Atoi(regTok[1:])
+	if err != nil || reg < 0 {
+		return QOp{}, fmt.Errorf("bad register index in %q", s)
+	}
+	op := QOp{Name: name, TwoQ: twoQ, Reg: reg}
+	for _, tok := range rest[1:] {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return QOp{}, fmt.Errorf("bad parameter in %q", s)
+		}
+		op.Params = append(op.Params, v)
+	}
+	return op, nil
+}

@@ -1,0 +1,167 @@
+package genome
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grover"
+	"repro/internal/qam"
+)
+
+// QuantumAligner aligns reads against a reference by storing every
+// indexed reference slice in a quantum associative memory and recalling
+// the closest match (§3.2): "the reference DNA is sliced and stored as
+// indexed entries in a superposed quantum database … A quantum search on
+// the database amplifies the measurement probability of the nearest match
+// to the query and thereby of the corresponding index."
+type QuantumAligner struct {
+	Reference string
+	ReadLen   int
+	IndexBits int
+	DataBits  int
+	memory    *qam.Memory
+}
+
+// NewQuantumAligner slices the reference into all substrings of length
+// readLen and stores (index ‖ encoded slice) patterns. The register is
+// IndexBits + 2·readLen qubits and must fit in the simulator.
+func NewQuantumAligner(reference string, readLen int) (*QuantumAligner, error) {
+	positions := len(reference) - readLen + 1
+	if positions < 1 {
+		return nil, fmt.Errorf("genome: reference shorter than read length")
+	}
+	indexBits := bitsFor(positions)
+	dataBits := 2 * readLen
+	n := indexBits + dataBits
+	if n > 24 {
+		return nil, fmt.Errorf("genome: aligner needs %d qubits (> 24); shrink the reference or read length", n)
+	}
+	patterns := make([]int, 0, positions)
+	seen := map[int]bool{}
+	for pos := 0; pos < positions; pos++ {
+		data, err := EncodeSequence(reference[pos : pos+readLen])
+		if err != nil {
+			return nil, err
+		}
+		pat := pos | data<<uint(indexBits)
+		if seen[pat] {
+			continue // identical slice at duplicate position cannot repeat; indexes differ, so this never fires
+		}
+		seen[pat] = true
+		patterns = append(patterns, pat)
+	}
+	mem, err := qam.Store(n, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return &QuantumAligner{
+		Reference: reference,
+		ReadLen:   readLen,
+		IndexBits: indexBits,
+		DataBits:  dataBits,
+		memory:    mem,
+	}, nil
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for (1 << uint(b)) < n {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// QuantumAlignment is the result of a quantum alignment.
+type QuantumAlignment struct {
+	Position    int
+	Mismatches  int
+	SuccessProb float64 // probability mass on correct-match patterns
+	Iterations  int     // Grover iterations used
+	Qubits      int
+}
+
+// Align amplifies the slices within maxMismatch base mismatches of the
+// read and returns the most probable index. The oracle compares decoded
+// bases, not raw bits, so one base error counts once.
+func (a *QuantumAligner) Align(read string, maxMismatch int) (*QuantumAlignment, error) {
+	if len(read) != a.ReadLen {
+		return nil, fmt.Errorf("genome: read length %d != aligner %d", len(read), a.ReadLen)
+	}
+	readCode, err := EncodeSequence(read)
+	if err != nil {
+		return nil, err
+	}
+	oracle := func(idx int) bool {
+		data := idx >> uint(a.IndexBits)
+		return baseMismatches(data, readCode, a.ReadLen) <= maxMismatch
+	}
+	// Count matching stored patterns to pick the optimal iteration count.
+	matches := 0
+	for _, p := range a.memory.Patterns {
+		if oracle(p) {
+			matches++
+		}
+	}
+	if matches == 0 {
+		return nil, fmt.Errorf("genome: no slice within %d mismatches", maxMismatch)
+	}
+	iterations := grover.OptimalIterations(a.memory.Capacity(), matches)
+	if iterations == 0 {
+		iterations = 1
+	}
+	res := grover.Amplify(a.memory.State(), oracle, iterations)
+	probs := res.State.Probabilities()
+	bestIdx, bestP := 0, 0.0
+	for idx, p := range probs {
+		if p > bestP {
+			bestIdx, bestP = idx, p
+		}
+	}
+	pos := bestIdx & (1<<uint(a.IndexBits) - 1)
+	data := bestIdx >> uint(a.IndexBits)
+	return &QuantumAlignment{
+		Position:    pos,
+		Mismatches:  baseMismatches(data, readCode, a.ReadLen),
+		SuccessProb: res.SuccessProb,
+		Iterations:  iterations,
+		Qubits:      a.IndexBits + a.DataBits,
+	}, nil
+}
+
+// baseMismatches counts differing bases between two 2-bit-packed
+// sequences of the given length.
+func baseMismatches(a, b, length int) int {
+	mism := 0
+	for i := 0; i < length; i++ {
+		if (a>>uint(2*i))&3 != (b>>uint(2*i))&3 {
+			mism++
+		}
+	}
+	return mism
+}
+
+// LogicalQubitEstimate models the register size for genome-scale
+// alignment: an index register of ⌈log₂N⌉ qubits, 2L data qubits for an
+// L-base read, and an ancilla counter of ⌈log₂2L⌉+2 qubits for the
+// mismatch comparator. For the human genome (N≈3.1·10⁹) with L=50 reads
+// this gives ≈141 — the "around 150 logical qubits" estimate of §2.3.
+func LogicalQubitEstimate(genomeLen, readLen int) int {
+	index := int(math.Ceil(math.Log2(float64(genomeLen))))
+	data := 2 * readLen
+	ancilla := int(math.Ceil(math.Log2(float64(2*readLen)))) + 2
+	return index + data + ancilla
+}
+
+// ClassicalMemoryBits returns the bits a classical index of all slices
+// needs (positions × 2L data bits), against which the QAM's n-qubit
+// register is the exponential-capacity claim of §2.3.
+func ClassicalMemoryBits(genomeLen, readLen int) int {
+	positions := genomeLen - readLen + 1
+	if positions < 0 {
+		return 0
+	}
+	return positions * 2 * readLen
+}

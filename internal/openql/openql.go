@@ -1,0 +1,260 @@
+// Package openql implements the programming layer of the stack (§2.4): a
+// builder API in the style of the OpenQL language, producing kernels of
+// quantum gates wrapped in classical control, and a compiler entry point
+// that lowers programs through decomposition, optimisation, mapping and
+// scheduling to cQASM — and on to eQASM for hardware-style targets.
+// "The OpenQL compiler translates the program to a common assembly
+// language, called cQASM … in a subsequent step the compiler can convert
+// the cQASM to generate the eQASM."
+package openql
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/compiler"
+	"repro/internal/cqasm"
+	"repro/internal/eqasm"
+)
+
+// QubitMode selects the qubit abstraction of §2.1.
+type QubitMode int
+
+// Qubit modes.
+const (
+	// PerfectQubits have no decoherence and no errors; connectivity
+	// constraints are waived unless a topology is forced.
+	PerfectQubits QubitMode = iota
+	// RealisticQubits carry error models and the platform's topology and
+	// timing constraints.
+	RealisticQubits
+)
+
+func (m QubitMode) String() string {
+	if m == RealisticQubits {
+		return "realistic"
+	}
+	return "perfect"
+}
+
+// Kernel is a named block of quantum logic, optionally iterated — the
+// unit the host offloads to the accelerator.
+type Kernel struct {
+	Name       string
+	Iterations int
+	c          *circuit.Circuit
+}
+
+// NewKernel returns an empty kernel over n qubits.
+func NewKernel(name string, n int) *Kernel {
+	return &Kernel{Name: name, Iterations: 1, c: circuit.New(name, n)}
+}
+
+// Gate appends a gate by registry name.
+func (k *Kernel) Gate(name string, qubits []int, params ...float64) *Kernel {
+	k.c.Add(name, qubits, params...)
+	return k
+}
+
+// Convenience single-gate builders mirroring the OpenQL API.
+
+// H appends a Hadamard.
+func (k *Kernel) H(q int) *Kernel { k.c.H(q); return k }
+
+// X appends a Pauli-X.
+func (k *Kernel) X(q int) *Kernel { k.c.X(q); return k }
+
+// Y appends a Pauli-Y.
+func (k *Kernel) Y(q int) *Kernel { k.c.Y(q); return k }
+
+// Z appends a Pauli-Z.
+func (k *Kernel) Z(q int) *Kernel { k.c.Z(q); return k }
+
+// RX appends an X rotation.
+func (k *Kernel) RX(q int, theta float64) *Kernel { k.c.RX(q, theta); return k }
+
+// RY appends a Y rotation.
+func (k *Kernel) RY(q int, theta float64) *Kernel { k.c.RY(q, theta); return k }
+
+// RZ appends a Z rotation.
+func (k *Kernel) RZ(q int, theta float64) *Kernel { k.c.RZ(q, theta); return k }
+
+// CNOT appends a controlled-NOT.
+func (k *Kernel) CNOT(control, target int) *Kernel { k.c.CNOT(control, target); return k }
+
+// CZ appends a controlled-Z.
+func (k *Kernel) CZ(a, b int) *Kernel { k.c.CZ(a, b); return k }
+
+// Toffoli appends a doubly-controlled NOT.
+func (k *Kernel) Toffoli(a, b, target int) *Kernel { k.c.Toffoli(a, b, target); return k }
+
+// Measure appends a Z measurement.
+func (k *Kernel) Measure(q int) *Kernel { k.c.Measure(q); return k }
+
+// MeasureAll measures every qubit.
+func (k *Kernel) MeasureAll() *Kernel { k.c.MeasureAll(); return k }
+
+// PrepZ resets a qubit to |0>.
+func (k *Kernel) PrepZ(q int) *Kernel { k.c.PrepZ(q); return k }
+
+// Barrier appends a scheduling barrier.
+func (k *Kernel) Barrier() *Kernel { k.c.Barrier(); return k }
+
+// Repeat sets the kernel's iteration count (classical loop construct).
+func (k *Kernel) Repeat(n int) *Kernel {
+	if n < 1 {
+		n = 1
+	}
+	k.Iterations = n
+	return k
+}
+
+// Circuit returns a copy of the kernel's gate list as a flat circuit,
+// iterations unrolled.
+func (k *Kernel) Circuit() *circuit.Circuit {
+	out := circuit.New(k.Name, k.c.NumQubits)
+	for i := 0; i < k.Iterations; i++ {
+		out.Append(k.c)
+	}
+	return out
+}
+
+// Program is an OpenQL program: an ordered list of kernels over a shared
+// qubit register.
+type Program struct {
+	Name      string
+	NumQubits int
+	Kernels   []*Kernel
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string, n int) *Program {
+	return &Program{Name: name, NumQubits: n}
+}
+
+// AddKernel appends a kernel; its qubit count must not exceed the
+// program's.
+func (p *Program) AddKernel(k *Kernel) *Program {
+	if k.c.NumQubits > p.NumQubits {
+		panic(fmt.Sprintf("openql: kernel %q uses %d qubits, program has %d",
+			k.Name, k.c.NumQubits, p.NumQubits))
+	}
+	p.Kernels = append(p.Kernels, k)
+	return p
+}
+
+// Flatten lowers the program to one circuit (kernels concatenated,
+// iterations unrolled).
+func (p *Program) Flatten() *circuit.Circuit {
+	out := circuit.New(p.Name, p.NumQubits)
+	for _, k := range p.Kernels {
+		out.Append(k.Circuit())
+	}
+	return out
+}
+
+// CQASM renders the program as cQASM with one subcircuit per kernel,
+// iteration counts preserved.
+func (p *Program) CQASM() string {
+	prog := &cqasm.Program{Version: "1.0", NumQubits: p.NumQubits}
+	for _, k := range p.Kernels {
+		sub := cqasm.Subcircuit{Name: sanitize(k.Name), Iterations: k.Iterations}
+		for _, g := range k.c.Gates {
+			sub.Bundles = append(sub.Bundles, cqasm.Bundle{Gates: []circuit.Gate{g.Clone()}})
+		}
+		prog.Subcircuits = append(prog.Subcircuits, sub)
+	}
+	return cqasm.Print(prog)
+}
+
+func sanitize(s string) string {
+	out := []rune(s)
+	for i, r := range out {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	if len(out) == 0 {
+		return "kernel"
+	}
+	return string(out)
+}
+
+// CompileOptions configures the compiler pipeline.
+type CompileOptions struct {
+	Mode     QubitMode
+	Platform *compiler.Platform
+	// Optimize enables the peephole pass.
+	Optimize bool
+	// Policy selects ASAP or ALAP scheduling.
+	Policy compiler.Policy
+	// Mapping configures placement and routing (used when the platform
+	// has a topology).
+	Mapping compiler.MapOptions
+}
+
+// Compiled is the full output of the compiler: every intermediate
+// artefact of Fig 4's flow.
+type Compiled struct {
+	Mode      QubitMode
+	Circuit   *circuit.Circuit    // final gate-level circuit (mapped if applicable)
+	CQASM     string              // cQASM of the final circuit
+	Schedule  *compiler.Schedule  // timed bundles
+	EQASM     *eqasm.Program      // executable assembly (realistic targets)
+	MapResult *compiler.MapResult // routing statistics, nil for all-to-all
+}
+
+// Compile lowers the program for the given target: decompose to the
+// platform's primitives, optionally optimise, map to the topology,
+// schedule, and (for realistic targets) assemble eQASM.
+func (p *Program) Compile(opts CompileOptions) (*Compiled, error) {
+	if opts.Platform == nil {
+		opts.Platform = compiler.Perfect(p.NumQubits)
+	}
+	flat := p.Flatten()
+	c, err := compiler.Decompose(flat, opts.Platform)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Optimize {
+		c = compiler.Optimize(c)
+	}
+	out := &Compiled{Mode: opts.Mode}
+	if opts.Platform.Topology != nil {
+		mr, err := compiler.MapCircuit(c, opts.Platform, opts.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		out.MapResult = mr
+		c = mr.Circuit
+		// Routing inserts SWAPs; lower them to primitives too. The
+		// decomposition acts on the same adjacent pair, so the NN
+		// constraint is preserved.
+		if !opts.Platform.Supports("swap") {
+			c, err = compiler.Decompose(c, opts.Platform)
+			if err != nil {
+				return nil, err
+			}
+			if opts.Optimize {
+				c = compiler.Optimize(c)
+			}
+		}
+	}
+	sched, err := compiler.ScheduleCircuit(c, opts.Platform, opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	out.Circuit = c
+	out.Schedule = sched
+	out.CQASM = cqasm.PrintCircuit(c)
+	if opts.Mode == RealisticQubits {
+		prog, err := eqasm.Assemble(sched, opts.Platform)
+		if err != nil {
+			return nil, err
+		}
+		prog.Name = p.Name
+		out.EQASM = prog
+	}
+	return out, nil
+}

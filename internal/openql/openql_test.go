@@ -1,0 +1,168 @@
+package openql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/cqasm"
+)
+
+func bellProgram() *Program {
+	p := NewProgram("bell", 2)
+	k := NewKernel("entangle", 2)
+	k.H(0).CNOT(0, 1).MeasureAll()
+	p.AddKernel(k)
+	return p
+}
+
+func TestKernelBuilders(t *testing.T) {
+	k := NewKernel("k", 3)
+	k.H(0).X(1).Y(2).Z(0).RX(0, 0.1).RY(1, 0.2).RZ(2, 0.3).
+		CNOT(0, 1).CZ(1, 2).Toffoli(0, 1, 2).
+		Measure(0).PrepZ(1).Barrier()
+	c := k.Circuit()
+	if c.GateCount() != 13 {
+		t.Errorf("gates = %d, want 13", c.GateCount())
+	}
+}
+
+func TestKernelRepeat(t *testing.T) {
+	k := NewKernel("loop", 1).X(0).Repeat(3)
+	if k.Circuit().GateCount() != 3 {
+		t.Errorf("repeat not unrolled: %d", k.Circuit().GateCount())
+	}
+	if k.Repeat(0).Iterations != 1 {
+		t.Error("repeat < 1 should clamp")
+	}
+}
+
+func TestProgramFlatten(t *testing.T) {
+	p := NewProgram("p", 2)
+	p.AddKernel(NewKernel("a", 2).H(0))
+	p.AddKernel(NewKernel("b", 2).CNOT(0, 1).Repeat(2))
+	flat := p.Flatten()
+	if flat.GateCount() != 3 {
+		t.Errorf("flattened = %d gates, want 3", flat.GateCount())
+	}
+}
+
+func TestAddKernelPanicsOnOversize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized kernel accepted")
+		}
+	}()
+	NewProgram("p", 1).AddKernel(NewKernel("big", 2))
+}
+
+func TestCQASMOutputParses(t *testing.T) {
+	text := bellProgram().CQASM()
+	if !strings.Contains(text, ".entangle") {
+		t.Errorf("kernel name missing:\n%s", text)
+	}
+	parsed, err := cqasm.Parse(text)
+	if err != nil {
+		t.Fatalf("emitted cQASM does not parse: %v\n%s", err, text)
+	}
+	flat, err := parsed.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.GateCount() != 3 {
+		t.Errorf("round-tripped gates = %d", flat.GateCount())
+	}
+}
+
+func TestCQASMIterations(t *testing.T) {
+	p := NewProgram("it", 1)
+	p.AddKernel(NewKernel("spin", 1).X(0).Repeat(4))
+	text := p.CQASM()
+	if !strings.Contains(text, ".spin(4)") {
+		t.Errorf("iterations missing:\n%s", text)
+	}
+}
+
+func TestCompilePerfect(t *testing.T) {
+	compiled, err := bellProgram().Compile(CompileOptions{Mode: PerfectQubits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.EQASM != nil {
+		t.Error("perfect mode should not emit eQASM")
+	}
+	if compiled.Schedule == nil || compiled.Schedule.Makespan == 0 {
+		t.Error("no schedule produced")
+	}
+	if compiled.CQASM == "" {
+		t.Error("no cQASM artefact")
+	}
+}
+
+func TestCompileRealistic(t *testing.T) {
+	compiled, err := bellProgram().Compile(CompileOptions{
+		Mode:     RealisticQubits,
+		Platform: compiler.Superconducting(),
+		Optimize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.EQASM == nil {
+		t.Fatal("realistic mode must emit eQASM")
+	}
+	if compiled.MapResult == nil {
+		t.Error("topology platform should produce mapping stats")
+	}
+	// All gates must be platform primitives after decomposition.
+	for _, g := range compiled.Circuit.Gates {
+		if g.IsUnitary() && !compiler.Superconducting().Supports(g.Name) {
+			t.Errorf("non-primitive gate %q survived", g.Name)
+		}
+	}
+	// eQASM must produce a valid timeline.
+	if _, err := compiled.EQASM.Timeline(); err != nil {
+		t.Errorf("invalid eQASM: %v", err)
+	}
+}
+
+func TestCompileOptimizeShrinks(t *testing.T) {
+	p := NewProgram("redundant", 1)
+	p.AddKernel(NewKernel("k", 1).H(0).H(0).X(0).X(0))
+	plain, err := p.Compile(CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := p.Compile(CompileOptions{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Circuit.Gates) >= len(plain.Circuit.Gates) {
+		t.Errorf("optimisation did not shrink: %d vs %d",
+			len(opt.Circuit.Gates), len(plain.Circuit.Gates))
+	}
+}
+
+func TestQubitModeString(t *testing.T) {
+	if PerfectQubits.String() != "perfect" || RealisticQubits.String() != "realistic" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestGateGenericBuilder(t *testing.T) {
+	k := NewKernel("g", 2)
+	k.Gate("cphase", []int{0, 1}, 0.5)
+	gates := k.Circuit().Gates
+	if len(gates) != 1 || gates[0].Name != "cphase" {
+		t.Errorf("generic gate failed: %v", gates)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("my kernel-1!"); got != "my_kernel_1_" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if sanitize("") != "kernel" {
+		t.Error("empty name")
+	}
+}

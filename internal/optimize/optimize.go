@@ -1,0 +1,214 @@
+// Package optimize provides the classical optimisers that drive hybrid
+// quantum-classical loops (§3.3): the Host-CPU side of variational
+// algorithms like QAOA, where "a shallow parameterised quantum circuit is
+// iterated multiple times while the parameters are optimised by a
+// classical optimiser".
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Objective is a function to minimise.
+type Objective func(x []float64) float64
+
+// Result reports the best point found.
+type Result struct {
+	X           []float64
+	Value       float64
+	Evaluations int
+}
+
+// NelderMeadOptions configures the simplex optimiser.
+type NelderMeadOptions struct {
+	MaxIter   int     // default 200
+	InitStep  float64 // simplex edge length (default 0.5)
+	Tolerance float64 // stop when value spread below this (default 1e-8)
+}
+
+// NelderMead minimises f starting from x0 with the downhill-simplex
+// method (reflection/expansion/contraction/shrink).
+func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) *Result {
+	n := len(x0)
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 200
+	}
+	if opts.InitStep <= 0 {
+		opts.InitStep = 0.5
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-8
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+	// Build the initial simplex.
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), eval(x0)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		x[i] += opts.InitStep
+		simplex[i+1] = vertex{x, eval(x)}
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].v < simplex[b].v })
+		if simplex[n].v-simplex[0].v < opts.Tolerance {
+			break
+		}
+		// Centroid of all but the worst.
+		centroid := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[i].x[j] / float64(n)
+			}
+		}
+		worst := simplex[n]
+		point := func(coef float64) []float64 {
+			x := make([]float64, n)
+			for j := 0; j < n; j++ {
+				x[j] = centroid[j] + coef*(worst.x[j]-centroid[j])
+			}
+			return x
+		}
+		refl := point(-alpha)
+		reflV := eval(refl)
+		switch {
+		case reflV < simplex[0].v:
+			exp := point(-gamma)
+			expV := eval(exp)
+			if expV < reflV {
+				simplex[n] = vertex{exp, expV}
+			} else {
+				simplex[n] = vertex{refl, reflV}
+			}
+		case reflV < simplex[n-1].v:
+			simplex[n] = vertex{refl, reflV}
+		default:
+			contr := point(rho)
+			contrV := eval(contr)
+			if contrV < worst.v {
+				simplex[n] = vertex{contr, contrV}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].v = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].v < simplex[b].v })
+	return &Result{X: simplex[0].x, Value: simplex[0].v, Evaluations: evals}
+}
+
+// SPSAOptions configures simultaneous-perturbation stochastic
+// approximation, suited to noisy objectives (sampled expectations).
+type SPSAOptions struct {
+	Iterations int     // default 100
+	A          float64 // step-size numerator (default 0.2)
+	C          float64 // perturbation size (default 0.1)
+	Alpha      float64 // step decay (default 0.602)
+	Gamma      float64 // perturbation decay (default 0.101)
+	Seed       int64
+}
+
+// SPSA minimises f with two evaluations per iteration regardless of
+// dimension.
+func SPSA(f Objective, x0 []float64, opts SPSAOptions) *Result {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 100
+	}
+	if opts.A <= 0 {
+		opts.A = 0.2
+	}
+	if opts.C <= 0 {
+		opts.C = 0.1
+	}
+	if opts.Alpha <= 0 {
+		opts.Alpha = 0.602
+	}
+	if opts.Gamma <= 0 {
+		opts.Gamma = 0.101
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	bestX := append([]float64(nil), x...)
+	bestV := f(x)
+	evals := 1
+	delta := make([]float64, n)
+	plus := make([]float64, n)
+	minus := make([]float64, n)
+	for k := 1; k <= opts.Iterations; k++ {
+		ak := opts.A / math.Pow(float64(k)+1, opts.Alpha)
+		ck := opts.C / math.Pow(float64(k), opts.Gamma)
+		for i := range delta {
+			if rng.Intn(2) == 0 {
+				delta[i] = 1
+			} else {
+				delta[i] = -1
+			}
+			plus[i] = x[i] + ck*delta[i]
+			minus[i] = x[i] - ck*delta[i]
+		}
+		vPlus := f(plus)
+		vMinus := f(minus)
+		evals += 2
+		for i := range x {
+			g := (vPlus - vMinus) / (2 * ck * delta[i])
+			x[i] -= ak * g
+		}
+		if v := f(x); v < bestV {
+			bestV = v
+			copy(bestX, x)
+		}
+		evals++
+	}
+	return &Result{X: bestX, Value: bestV, Evaluations: evals}
+}
+
+// GridSearch exhaustively evaluates f on a regular grid: bounds[i] is the
+// [lo, hi] interval of dimension i, sampled at steps points.
+func GridSearch(f Objective, bounds [][2]float64, steps int) *Result {
+	if steps < 2 {
+		steps = 2
+	}
+	n := len(bounds)
+	x := make([]float64, n)
+	best := &Result{Value: math.Inf(1)}
+	var walk func(dim int)
+	walk = func(dim int) {
+		if dim == n {
+			v := f(x)
+			best.Evaluations++
+			if v < best.Value {
+				best.Value = v
+				best.X = append([]float64(nil), x...)
+			}
+			return
+		}
+		lo, hi := bounds[dim][0], bounds[dim][1]
+		for s := 0; s < steps; s++ {
+			x[dim] = lo + (hi-lo)*float64(s)/float64(steps-1)
+			walk(dim + 1)
+		}
+	}
+	walk(0)
+	return best
+}

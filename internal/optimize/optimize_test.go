@@ -1,0 +1,104 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sphere has its minimum 0 at the origin.
+func sphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// rosenbrock has its minimum 0 at (1,1).
+func rosenbrock(x []float64) float64 {
+	a, b := x[0], x[1]
+	return (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+}
+
+func TestNelderMeadSphere(t *testing.T) {
+	res := NelderMead(sphere, []float64{2, -3, 1}, NelderMeadOptions{MaxIter: 500})
+	if res.Value > 1e-6 {
+		t.Errorf("NM sphere value %v", res.Value)
+	}
+	for _, v := range res.X {
+		if math.Abs(v) > 1e-3 {
+			t.Errorf("NM sphere x %v", res.X)
+		}
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	res := NelderMead(rosenbrock, []float64{-1, 2}, NelderMeadOptions{MaxIter: 2000})
+	if res.Value > 1e-4 {
+		t.Errorf("NM rosenbrock value %v at %v", res.Value, res.X)
+	}
+}
+
+func TestSPSASphere(t *testing.T) {
+	res := SPSA(sphere, []float64{1.5, -1}, SPSAOptions{Iterations: 400, Seed: 1})
+	if res.Value > 0.05 {
+		t.Errorf("SPSA sphere value %v", res.Value)
+	}
+}
+
+func TestSPSAWithNoise(t *testing.T) {
+	// SPSA tolerates stochastic objectives: add deterministic pseudo-noise.
+	noise := 0.01
+	k := 0
+	noisy := func(x []float64) float64 {
+		k++
+		return sphere(x) + noise*math.Sin(float64(k)*12.9898)
+	}
+	res := SPSA(noisy, []float64{1, 1}, SPSAOptions{Iterations: 500, Seed: 2})
+	if sphere(res.X) > 0.1 {
+		t.Errorf("SPSA noisy result %v (true value %v)", res.X, sphere(res.X))
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	res := GridSearch(sphere, [][2]float64{{-1, 1}, {-1, 1}}, 21)
+	if res.Value > 1e-12 {
+		t.Errorf("grid missed origin: %v at %v", res.Value, res.X)
+	}
+	if res.Evaluations != 21*21 {
+		t.Errorf("evaluations = %d, want 441", res.Evaluations)
+	}
+}
+
+func TestGridSearchMinimumSteps(t *testing.T) {
+	res := GridSearch(sphere, [][2]float64{{0, 1}}, 1)
+	if res.Evaluations != 2 {
+		t.Errorf("steps<2 should clamp to 2, got %d evals", res.Evaluations)
+	}
+}
+
+// Property: optimisers never return a value worse than the starting
+// point's.
+func TestOptimisersImproveProperty(t *testing.T) {
+	f := func(ax, ay float64) bool {
+		x0 := []float64{math.Mod(ax, 3), math.Mod(ay, 3)}
+		start := sphere(x0)
+		nm := NelderMead(sphere, x0, NelderMeadOptions{MaxIter: 100})
+		if nm.Value > start+1e-12 {
+			return false
+		}
+		sp := SPSA(sphere, x0, SPSAOptions{Iterations: 50, Seed: 3})
+		return sp.Value <= start+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluationCounting(t *testing.T) {
+	res := NelderMead(sphere, []float64{1}, NelderMeadOptions{MaxIter: 10})
+	if res.Evaluations <= 0 {
+		t.Error("no evaluations recorded")
+	}
+}

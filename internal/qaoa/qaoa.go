@@ -1,0 +1,240 @@
+// Package qaoa implements the Quantum Approximate Optimisation Algorithm
+// of §3.3: QUBO problems solved on the gate-based accelerator. The
+// classical optimiser (Host-CPU) specifies a low-depth parameterised
+// circuit; the quantum accelerator (QX) estimates its energy; the hybrid
+// loop iterates — the paper's Fig 8 execution model.
+package qaoa
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/optimize"
+	"repro/internal/qubo"
+	"repro/internal/qx"
+)
+
+// Problem wraps an Ising model for QAOA execution.
+type Problem struct {
+	Model *qubo.Ising
+}
+
+// FromQUBO converts a QUBO into a QAOA problem.
+func FromQUBO(q *qubo.QUBO) *Problem {
+	return &Problem{Model: q.ToIsing()}
+}
+
+// BuildCircuit constructs the depth-p QAOA circuit: uniform
+// superposition, then alternating cost-phase layers exp(−iγ H_C) and
+// mixer layers exp(−iβ H_B). gammas and betas must have equal length p.
+func (p *Problem) BuildCircuit(gammas, betas []float64) (*circuit.Circuit, error) {
+	if len(gammas) != len(betas) {
+		return nil, fmt.Errorf("qaoa: %d gammas vs %d betas", len(gammas), len(betas))
+	}
+	m := p.Model
+	c := circuit.New("qaoa", m.N)
+	for q := 0; q < m.N; q++ {
+		c.H(q)
+	}
+	for layer := range gammas {
+		gamma, beta := gammas[layer], betas[layer]
+		// Cost phases: single-spin fields h_i → RZ(2γh_i); couplings
+		// J_ij → ZZ interaction via CNOT–RZ(2γJ_ij)–CNOT.
+		for i, h := range m.H {
+			if h != 0 {
+				c.RZ(i, 2*gamma*h)
+			}
+		}
+		for _, cp := range m.Couplings() {
+			c.CNOT(cp.I, cp.J)
+			c.RZ(cp.J, 2*gamma*cp.Value)
+			c.CNOT(cp.I, cp.J)
+		}
+		// Mixer: RX(2β) on every qubit.
+		for q := 0; q < m.N; q++ {
+			c.RX(q, 2*beta)
+		}
+	}
+	return c, nil
+}
+
+// Energy returns the exact expectation <ψ(γ,β)|H_C|ψ(γ,β)> by full
+// state-vector simulation (the perfect-qubit development mode).
+func (p *Problem) Energy(sim *qx.Simulator, gammas, betas []float64) (float64, error) {
+	c, err := p.BuildCircuit(gammas, betas)
+	if err != nil {
+		return 0, err
+	}
+	st, err := sim.RunState(c)
+	if err != nil {
+		return 0, err
+	}
+	probs := st.Probabilities()
+	spins := make([]int, p.Model.N)
+	var e float64
+	for idx, prob := range probs {
+		if prob == 0 {
+			continue
+		}
+		for i := range spins {
+			if idx&(1<<uint(i)) != 0 {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		e += prob * p.Model.Energy(spins)
+	}
+	return e, nil
+}
+
+// SampledEnergy estimates the expectation from a finite number of shots,
+// modelling the statistical aggregation a real accelerator performs.
+func (p *Problem) SampledEnergy(sim *qx.Simulator, gammas, betas []float64, shots int) (float64, error) {
+	c, err := p.BuildCircuit(gammas, betas)
+	if err != nil {
+		return 0, err
+	}
+	spins := make([]int, p.Model.N)
+	return sim.SampleExpectation(c, shots, func(idx int) float64 {
+		for i := range spins {
+			if idx&(1<<uint(i)) != 0 {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		return p.Model.Energy(spins)
+	})
+}
+
+// Options configures the hybrid optimisation loop.
+type Options struct {
+	Layers    int // circuit depth p (default 1)
+	Seed      int64
+	Shots     int  // 0 = exact expectation
+	UseSPSA   bool // default Nelder–Mead
+	MaxIter   int  // optimiser budget (default 150)
+	GridSeeds int  // coarse grid used to seed the optimiser (default 5 per axis, p=1 only)
+}
+
+// Result is the outcome of the hybrid loop.
+type Result struct {
+	Gammas      []float64
+	Betas       []float64
+	Energy      float64 // optimised expectation
+	BestBits    []int   // most probable assignment of the final circuit
+	BestEnergy  float64 // Ising energy of BestBits
+	Evaluations int
+}
+
+// Solve runs the full hybrid quantum-classical loop: classical optimiser
+// proposing (γ, β), quantum accelerator returning energies, and a final
+// sampling pass to read out the best assignment.
+func Solve(p *Problem, sim *qx.Simulator, opts Options) (*Result, error) {
+	if opts.Layers <= 0 {
+		opts.Layers = 1
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 150
+	}
+	if opts.GridSeeds <= 0 {
+		opts.GridSeeds = 5
+	}
+	dim := 2 * opts.Layers
+	var evalErr error
+	objective := func(x []float64) float64 {
+		gammas, betas := x[:opts.Layers], x[opts.Layers:]
+		var e float64
+		var err error
+		if opts.Shots > 0 {
+			e, err = p.SampledEnergy(sim, gammas, betas, opts.Shots)
+		} else {
+			e, err = p.Energy(sim, gammas, betas)
+		}
+		if err != nil {
+			evalErr = err
+			return math.Inf(1)
+		}
+		return e
+	}
+
+	// Seed the local optimiser from a coarse grid on the first layer's
+	// angles (γ ∈ [0, π), β ∈ [0, π/2)); deeper layers start at the
+	// seeded values repeated.
+	x0 := make([]float64, dim)
+	if opts.Layers >= 1 {
+		grid := optimize.GridSearch(func(x []float64) float64 {
+			full := make([]float64, dim)
+			for l := 0; l < opts.Layers; l++ {
+				full[l] = x[0]
+				full[opts.Layers+l] = x[1]
+			}
+			return objective(full)
+		}, [][2]float64{{0.05, math.Pi - 0.05}, {0.05, math.Pi/2 - 0.05}}, opts.GridSeeds)
+		for l := 0; l < opts.Layers; l++ {
+			x0[l] = grid.X[0]
+			x0[opts.Layers+l] = grid.X[1]
+		}
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	var opt *optimize.Result
+	if opts.UseSPSA {
+		opt = optimize.SPSA(objective, x0, optimize.SPSAOptions{Iterations: opts.MaxIter, Seed: opts.Seed})
+	} else {
+		opt = optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{MaxIter: opts.MaxIter})
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	gammas := append([]float64(nil), opt.X[:opts.Layers]...)
+	betas := append([]float64(nil), opt.X[opts.Layers:]...)
+
+	// Read out: sample the optimised circuit and keep the best seen
+	// assignment (the accelerator-side aggregation of §3.2).
+	c, err := p.BuildCircuit(gammas, betas)
+	if err != nil {
+		return nil, err
+	}
+	shots := opts.Shots
+	if shots <= 0 {
+		shots = 2048
+	}
+	res, err := sim.Run(c, shots)
+	if err != nil {
+		return nil, err
+	}
+	bestE := math.Inf(1)
+	bestBits := make([]int, p.Model.N)
+	spins := make([]int, p.Model.N)
+	for idx := range res.Counts {
+		for i := range spins {
+			if idx&(1<<uint(i)) != 0 {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		if e := p.Model.Energy(spins); e < bestE {
+			bestE = e
+			copy(bestBits, qubo.SpinsToBits(spins))
+		}
+	}
+	return &Result{
+		Gammas:      gammas,
+		Betas:       betas,
+		Energy:      opt.Value,
+		BestBits:    bestBits,
+		BestEnergy:  bestE,
+		Evaluations: opt.Evaluations + grid0Evals(opts),
+	}, nil
+}
+
+func grid0Evals(opts Options) int {
+	return opts.GridSeeds * opts.GridSeeds
+}

@@ -1,0 +1,146 @@
+package qaoa
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qubo"
+	"repro/internal/qx"
+)
+
+// antiferroPair returns the 2-spin model with J=+1: ground states are the
+// anti-aligned spins with energy −1.
+func antiferroPair() *qubo.Ising {
+	m := qubo.NewIsing(2)
+	m.SetJ(0, 1, 1)
+	return m
+}
+
+func TestBuildCircuitShape(t *testing.T) {
+	p := &Problem{Model: antiferroPair()}
+	c, err := p.BuildCircuit([]float64{0.5}, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 H + (CNOT RZ CNOT) + 2 RX.
+	if c.GateCount("h") != 2 || c.GateCount("cnot") != 2 || c.GateCount("rx") != 2 || c.GateCount("rz") != 1 {
+		t.Errorf("circuit shape wrong: %v", c.Gates)
+	}
+	if _, err := p.BuildCircuit([]float64{1}, []float64{}); err == nil {
+		t.Error("mismatched layers accepted")
+	}
+}
+
+func TestEnergyAtZeroAnglesIsMeanField(t *testing.T) {
+	// γ=β=0 leaves the uniform superposition; <H> = 0 for a pure
+	// coupling model.
+	p := &Problem{Model: antiferroPair()}
+	sim := qx.New(1)
+	e, err := p.Energy(sim, []float64{0}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e) > 1e-9 {
+		t.Errorf("<H> at zero angles = %v, want 0", e)
+	}
+}
+
+func TestQAOAp1BeatsRandomGuessing(t *testing.T) {
+	p := &Problem{Model: antiferroPair()}
+	sim := qx.New(2)
+	res, err := Solve(p, sim, Options{Layers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random guessing gives 0; p=1 QAOA on a single ZZ bond can reach −1.
+	if res.Energy > -0.8 {
+		t.Errorf("optimised energy %v, want close to -1", res.Energy)
+	}
+	if res.BestEnergy != -1 {
+		t.Errorf("best sampled energy %v, want -1", res.BestEnergy)
+	}
+}
+
+func TestQAOAFindsTriangleGroundState(t *testing.T) {
+	// Frustrated triangle: J=+1 on all edges; ground energy = −1.
+	m := qubo.NewIsing(3)
+	m.SetJ(0, 1, 1)
+	m.SetJ(1, 2, 1)
+	m.SetJ(0, 2, 1)
+	p := &Problem{Model: m}
+	sim := qx.New(3)
+	res, err := Solve(p, sim, Options{Layers: 2, Seed: 7, MaxIter: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEnergy != -1 {
+		t.Errorf("triangle best energy %v, want -1", res.BestEnergy)
+	}
+	if res.Energy >= 0 {
+		t.Errorf("optimised expectation %v should be negative", res.Energy)
+	}
+}
+
+func TestQAOAWithFields(t *testing.T) {
+	// Single spin with field h=+1: ground state s=−1 with energy −1.
+	m := qubo.NewIsing(1)
+	m.H[0] = 1
+	p := &Problem{Model: m}
+	sim := qx.New(4)
+	res, err := Solve(p, sim, Options{Layers: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEnergy != -1 {
+		t.Errorf("field model best energy %v, want -1", res.BestEnergy)
+	}
+	if res.BestBits[0] != 0 { // s=-1 ↔ bit 0
+		t.Errorf("best bits %v, want [0]", res.BestBits)
+	}
+}
+
+func TestSampledEnergyApproximatesExact(t *testing.T) {
+	p := &Problem{Model: antiferroPair()}
+	sim := qx.New(11)
+	gammas, betas := []float64{0.7}, []float64{0.4}
+	exact, err := p.Energy(sim, gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := p.SampledEnergy(sim, gammas, betas, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-sampled) > 0.05 {
+		t.Errorf("sampled %v vs exact %v", sampled, exact)
+	}
+}
+
+func TestFromQUBO(t *testing.T) {
+	q := qubo.New(2)
+	q.Set(0, 0, -1)
+	q.Set(0, 1, 2)
+	p := FromQUBO(q)
+	if p.Model.N != 2 {
+		t.Error("FromQUBO size wrong")
+	}
+	// Energies must match through the conversion for all assignments.
+	for mask := 0; mask < 4; mask++ {
+		x := []int{mask & 1, mask >> 1}
+		if math.Abs(q.Energy(x)-p.Model.Energy(qubo.BitsToSpins(x))) > 1e-12 {
+			t.Errorf("conversion broke energy for %v", x)
+		}
+	}
+}
+
+func TestQAOASolveWithSPSA(t *testing.T) {
+	p := &Problem{Model: antiferroPair()}
+	sim := qx.New(13)
+	res, err := Solve(p, sim, Options{Layers: 1, Seed: 13, UseSPSA: true, MaxIter: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEnergy != -1 {
+		t.Errorf("SPSA best energy %v, want -1", res.BestEnergy)
+	}
+}

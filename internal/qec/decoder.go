@@ -1,0 +1,266 @@
+package qec
+
+import (
+	"math/rand"
+)
+
+// DecodeZ corrects an X-error syndrome by greedy matching: defects are
+// paired with each other or with the west/east boundaries (where X
+// chains may terminate undetected), choosing globally cheapest options
+// first. It returns the correction as a set of data-qubit X flips.
+// exactMatchLimit bounds the defect count for exact matching; beyond it
+// the decoder falls back to a greedy pairing.
+const exactMatchLimit = 16
+
+func (sc *SurfaceCode) DecodeZ(defects []int) []bool {
+	correction := make([]bool, sc.NumDataQubits())
+	if len(defects) == 0 {
+		return correction
+	}
+	var pairs [][2]int
+	var boundary []int
+	if len(defects) <= exactMatchLimit {
+		pairs, boundary = sc.matchExact(defects)
+	} else {
+		pairs, boundary = sc.matchGreedy(defects)
+	}
+	for _, pr := range pairs {
+		sc.applyPairPath(correction, sc.Stabilizers[pr[0]], sc.Stabilizers[pr[1]])
+	}
+	for _, di := range boundary {
+		sc.applyBoundaryPath(correction, sc.Stabilizers[di])
+	}
+	return correction
+}
+
+// matchExact finds the minimum-total-cost matching (pairings plus
+// boundary exits) by bitmask dynamic programming — equivalent to
+// minimum-weight perfect matching with boundary nodes.
+func (sc *SurfaceCode) matchExact(defects []int) (pairs [][2]int, boundary []int) {
+	n := len(defects)
+	bCost := make([]int, n)
+	pCost := make([][]int, n)
+	for i, di := range defects {
+		bCost[i] = sc.boundaryCost(sc.Stabilizers[di])
+		pCost[i] = make([]int, n)
+		for j, dj := range defects {
+			pCost[i][j] = pairCost(sc.Stabilizers[di], sc.Stabilizers[dj])
+		}
+	}
+	const inf = 1 << 30
+	size := 1 << uint(n)
+	f := make([]int32, size)
+	choice := make([]int32, size) // encoded decision for reconstruction
+	for s := 1; s < size; s++ {
+		f[s] = inf
+		i := lowestBit(s)
+		// Boundary exit for defect i.
+		rest := s &^ (1 << uint(i))
+		if c := int32(bCost[i]) + f[rest]; c < f[s] {
+			f[s] = c
+			choice[s] = -1
+		}
+		// Pair i with any other defect j in s.
+		for j := i + 1; j < n; j++ {
+			if s&(1<<uint(j)) == 0 {
+				continue
+			}
+			rem := rest &^ (1 << uint(j))
+			if c := int32(pCost[i][j]) + f[rem]; c < f[s] {
+				f[s] = c
+				choice[s] = int32(j)
+			}
+		}
+	}
+	// Reconstruct.
+	for s := size - 1; s > 0; {
+		i := lowestBit(s)
+		if choice[s] == -1 {
+			boundary = append(boundary, defects[i])
+			s &^= 1 << uint(i)
+		} else {
+			j := int(choice[s])
+			pairs = append(pairs, [2]int{defects[i], defects[j]})
+			s &^= (1 << uint(i)) | (1 << uint(j))
+		}
+	}
+	return pairs, boundary
+}
+
+func lowestBit(s int) int {
+	i := 0
+	for s&1 == 0 {
+		s >>= 1
+		i++
+	}
+	return i
+}
+
+// matchGreedy pairs defects whose pairing undercuts their combined
+// boundary cost, most profitable first; leftovers exit via boundaries.
+func (sc *SurfaceCode) matchGreedy(defects []int) (pairs [][2]int, boundary []int) {
+	remaining := append([]int(nil), defects...)
+	for len(remaining) > 1 {
+		bestGain := 0
+		bestA, bestB := -1, -1
+		for ai := 0; ai < len(remaining); ai++ {
+			a := sc.Stabilizers[remaining[ai]]
+			for bi := ai + 1; bi < len(remaining); bi++ {
+				b := sc.Stabilizers[remaining[bi]]
+				gain := sc.boundaryCost(a) + sc.boundaryCost(b) - pairCost(a, b)
+				if gain > bestGain {
+					bestGain, bestA, bestB = gain, ai, bi
+				}
+			}
+		}
+		if bestA == -1 {
+			break
+		}
+		pairs = append(pairs, [2]int{remaining[bestA], remaining[bestB]})
+		remaining = removeIndices(remaining, bestA, bestB)
+	}
+	boundary = append(boundary, remaining...)
+	return pairs, boundary
+}
+
+// pairCost is the diagonal-step distance between two Z plaquettes.
+func pairCost(a, b Stabilizer) int {
+	di := abs(a.I - b.I)
+	dj := abs(a.J - b.J)
+	if di > dj {
+		return di
+	}
+	return dj
+}
+
+// boundaryCost is the cheaper of exiting west (j+1 steps) or east
+// (d−1−j steps).
+func (sc *SurfaceCode) boundaryCost(a Stabilizer) int {
+	west := a.J + 1
+	east := sc.D - 1 - a.J
+	if west < east {
+		return west
+	}
+	return east
+}
+
+// applyPairPath flips the data qubits on a diagonal path from plaquette a
+// to plaquette b. Each diagonal step (di,dj) ∈ {±1}² between Z
+// plaquettes crosses exactly one data qubit: (i + (di+1)/2, j + (dj+1)/2).
+func (sc *SurfaceCode) applyPairPath(correction []bool, a, b Stabilizer) {
+	i, j := a.I, a.J
+	for i != b.I || j != b.J {
+		di, dj := sign(b.I-i), sign(b.J-j)
+		if di == 0 {
+			// Zigzag: step away then back in i while progressing j.
+			di = 1
+			if i+1 >= sc.D-1 {
+				di = -1
+			}
+		}
+		if dj == 0 {
+			dj = 1
+			if j+1 >= sc.D-1 {
+				dj = -1
+			}
+		}
+		flip(correction, sc.D, i+(di+1)/2, j+(dj+1)/2)
+		i += di
+		j += dj
+	}
+}
+
+// applyBoundaryPath flips qubits from plaquette a to the nearest X
+// boundary (west or east) along a diagonal chain.
+func (sc *SurfaceCode) applyBoundaryPath(correction []bool, a Stabilizer) {
+	west := a.J + 1
+	east := sc.D - 1 - a.J
+	i, j := a.I, a.J
+	dj := -1
+	steps := west
+	if east < west {
+		dj = 1
+		steps = east
+	}
+	for s := 0; s < steps; s++ {
+		di := 1
+		if i+1 >= sc.D-1 {
+			di = -1
+		}
+		flip(correction, sc.D, i+(di+1)/2, j+(dj+1)/2)
+		i += di
+		j += dj
+	}
+}
+
+func flip(correction []bool, d, r, c int) {
+	if r >= 0 && r < d && c >= 0 && c < d {
+		correction[r*d+c] = !correction[r*d+c]
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+func removeIndices(xs []int, idx ...int) []int {
+	drop := map[int]bool{}
+	for _, i := range idx {
+		drop[i] = true
+	}
+	out := xs[:0]
+	for i, x := range xs {
+		if !drop[i] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// CycleResult reports one code-capacity QEC cycle.
+type CycleResult struct {
+	Defects      int
+	LogicalError bool
+	ResidualOK   bool // syndrome clean after correction
+}
+
+// RunCycle injects i.i.d. X errors with probability p per data qubit,
+// extracts the Z syndrome, decodes, and reports whether a logical error
+// survived.
+func (sc *SurfaceCode) RunCycle(p float64, rng *rand.Rand) CycleResult {
+	errs := make([]bool, sc.NumDataQubits())
+	for q := range errs {
+		if rng.Float64() < p {
+			errs[q] = true
+		}
+	}
+	defects := sc.SyndromeZ(errs)
+	correction := sc.DecodeZ(defects)
+	residual := make([]bool, len(errs))
+	for q := range errs {
+		residual[q] = errs[q] != correction[q]
+	}
+	return CycleResult{
+		Defects:      len(defects),
+		LogicalError: sc.LogicalXParity(residual),
+		ResidualOK:   len(sc.SyndromeZ(residual)) == 0,
+	}
+}
+
+// LogicalErrorRate estimates the logical X error rate at physical error
+// probability p over the given number of Monte-Carlo trials.
+func (sc *SurfaceCode) LogicalErrorRate(p float64, trials int, rng *rand.Rand) float64 {
+	failures := 0
+	for t := 0; t < trials; t++ {
+		if sc.RunCycle(p, rng).LogicalError {
+			failures++
+		}
+	}
+	return float64(failures) / float64(trials)
+}

@@ -1,0 +1,92 @@
+package qec
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RepetitionCode is the distance-d bit-flip code: the "small code"
+// alternative to surface codes that Preskill's NISQ argument (§2.1)
+// brought back into focus — d data qubits, d−1 parity ancillas, majority
+// decoding.
+type RepetitionCode struct {
+	D int
+}
+
+// NewRepetitionCode returns a distance-d repetition code (d odd ≥ 3).
+func NewRepetitionCode(d int) (*RepetitionCode, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, fmt.Errorf("qec: repetition distance must be odd ≥ 3, got %d", d)
+	}
+	return &RepetitionCode{D: d}, nil
+}
+
+// Syndrome returns the parities of adjacent data-qubit pairs.
+func (rc *RepetitionCode) Syndrome(errs []bool) []int {
+	var defects []int
+	for i := 0; i+1 < rc.D; i++ {
+		if errs[i] != errs[i+1] {
+			defects = append(defects, i)
+		}
+	}
+	return defects
+}
+
+// Decode corrects by majority vote: if more than half the qubits flipped,
+// the minority is "corrected" into a logical error.
+func (rc *RepetitionCode) Decode(errs []bool) (correction []bool) {
+	count := 0
+	for _, e := range errs {
+		if e {
+			count++
+		}
+	}
+	correction = make([]bool, rc.D)
+	if count > rc.D/2 {
+		// Majority flipped: decoder flips the remaining minority (a
+		// logical error).
+		for i, e := range errs {
+			correction[i] = !e
+		}
+	} else {
+		copy(correction, errs)
+	}
+	return correction
+}
+
+// LogicalErrorRate estimates the probability that more than ⌊d/2⌋ qubits
+// flip (majority decoding fails) at physical error rate p.
+func (rc *RepetitionCode) LogicalErrorRate(p float64, trials int, rng *rand.Rand) float64 {
+	failures := 0
+	for t := 0; t < trials; t++ {
+		count := 0
+		for q := 0; q < rc.D; q++ {
+			if rng.Float64() < p {
+				count++
+			}
+		}
+		if count > rc.D/2 {
+			failures++
+		}
+	}
+	return float64(failures) / float64(trials)
+}
+
+// ESMCycleOps counts the operations of one parity-check round: per
+// ancilla 1 prep + 2 CNOTs + 1 measure.
+func (rc *RepetitionCode) ESMCycleOps() int {
+	return (rc.D - 1) * 4
+}
+
+// OverheadFraction returns the fraction of operations spent on error
+// correction when logicalOps logical operations are interleaved with
+// rounds ESM rounds — quantifying the paper's "fault-tolerant computation
+// can easily consume more than 90% of the actual computational activity".
+func OverheadFraction(esmOpsPerRound, rounds, logicalOps int) float64 {
+	qec := esmOpsPerRound * rounds
+	total := qec + logicalOps
+	if total == 0 {
+		return 0
+	}
+	return float64(qec) / float64(total)
+}

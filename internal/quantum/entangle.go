@@ -1,0 +1,135 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// ReducedDensityMatrix returns the reduced density matrix of the listed
+// qubits, tracing out the rest — the tool behind "fully entangled"
+// claims: a maximally entangled subsystem has a maximally mixed
+// reduction.
+func (s *State) ReducedDensityMatrix(keep ...int) Matrix {
+	k := len(keep)
+	if k == 0 || k > s.n {
+		panic("quantum: invalid subsystem")
+	}
+	inKeep := map[int]bool{}
+	for _, q := range keep {
+		s.checkQubit(q)
+		if inKeep[q] {
+			panic("quantum: duplicate qubit in subsystem")
+		}
+		inKeep[q] = true
+	}
+	var rest []int
+	for q := 0; q < s.n; q++ {
+		if !inKeep[q] {
+			rest = append(rest, q)
+		}
+	}
+	subDim := 1 << uint(k)
+	envDim := 1 << uint(len(rest))
+	rho := NewMatrix(subDim)
+	// amplitude index for subsystem value a and environment value e.
+	compose := func(a, e int) int {
+		idx := 0
+		for bit, q := range keep {
+			if a&(1<<uint(bit)) != 0 {
+				idx |= 1 << uint(q)
+			}
+		}
+		for bit, q := range rest {
+			if e&(1<<uint(bit)) != 0 {
+				idx |= 1 << uint(q)
+			}
+		}
+		return idx
+	}
+	for a := 0; a < subDim; a++ {
+		for b := 0; b < subDim; b++ {
+			var sum complex128
+			for e := 0; e < envDim; e++ {
+				sum += s.amps[compose(a, e)] * cmplx.Conj(s.amps[compose(b, e)])
+			}
+			rho.Set(a, b, sum)
+		}
+	}
+	return rho
+}
+
+// EntanglementEntropy returns the von Neumann entropy (in bits) of the
+// reduced state of the listed qubits: 0 for product states, k for a
+// maximally entangled k-qubit subsystem.
+func (s *State) EntanglementEntropy(keep ...int) float64 {
+	rho := s.ReducedDensityMatrix(keep...)
+	evs := hermitianEigenvalues(rho)
+	var h float64
+	for _, ev := range evs {
+		if ev > 1e-12 {
+			h -= ev * math.Log2(ev)
+		}
+	}
+	return h
+}
+
+// hermitianEigenvalues computes the eigenvalues of a Hermitian matrix by
+// the Jacobi rotation method (adequate for the small reduced density
+// matrices this package produces).
+func hermitianEigenvalues(m Matrix) []float64 {
+	n := m.N
+	// Work on a copy.
+	a := NewMatrix(n)
+	copy(a.Data, m.Data)
+	for sweep := 0; sweep < 100; sweep++ {
+		// Find the largest off-diagonal element.
+		var off float64
+		p, q := 0, 1
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if v := cmplx.Abs(a.At(i, j)); v > off {
+					off = v
+					p, q = i, j
+				}
+			}
+		}
+		if off < 1e-12 {
+			break
+		}
+		// Complex Jacobi rotation zeroing a[p][q].
+		apq := a.At(p, q)
+		app := real(a.At(p, p))
+		aqq := real(a.At(q, q))
+		absApq := cmplx.Abs(apq)
+		phase := apq / complex(absApq, 0)
+		theta := 0.5 * math.Atan2(2*absApq, app-aqq)
+		c := math.Cos(theta)
+		sn := math.Sin(theta)
+		// Build rotation columns: new_p = c·p + s·conj(phase)·q etc.
+		for i := 0; i < n; i++ {
+			aip := a.At(i, p)
+			aiq := a.At(i, q)
+			a.Set(i, p, aip*complex(c, 0)+aiq*phase*complex(sn, 0))
+			a.Set(i, q, -aip*cmplx.Conj(phase)*complex(sn, 0)+aiq*complex(c, 0))
+		}
+		for j := 0; j < n; j++ {
+			apj := a.At(p, j)
+			aqj := a.At(q, j)
+			a.Set(p, j, apj*complex(c, 0)+aqj*cmplx.Conj(phase)*complex(sn, 0))
+			a.Set(q, j, -apj*phase*complex(sn, 0)+aqj*complex(c, 0))
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = real(a.At(i, i))
+	}
+	return out
+}
+
+// IsProductState reports whether the given qubit is unentangled with the
+// rest of the register (its reduced state is pure within tol).
+func (s *State) IsProductState(q int, tol float64) bool {
+	rho := s.ReducedDensityMatrix(q)
+	purity := real(rho.Mul(rho).Trace())
+	return math.Abs(purity-1) < tol
+}

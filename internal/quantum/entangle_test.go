@@ -1,0 +1,131 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReducedDensityMatrixProduct(t *testing.T) {
+	// |+>|0>: qubit 0's reduced state is pure |+><+|.
+	s := NewState(2)
+	s.ApplyOne(H, 0)
+	rho := s.ReducedDensityMatrix(0)
+	if math.Abs(real(rho.At(0, 0))-0.5) > tol || math.Abs(real(rho.At(0, 1))-0.5) > tol {
+		t.Errorf("rho(|+>) wrong:\n%v", rho)
+	}
+	if math.Abs(real(rho.Trace())-1) > tol {
+		t.Error("trace != 1")
+	}
+}
+
+func TestReducedDensityMatrixBell(t *testing.T) {
+	// Bell pair: each qubit's reduction is maximally mixed.
+	s := NewState(2)
+	s.ApplyOne(H, 0)
+	s.ApplyTwo(CNOT, 0, 1)
+	for q := 0; q < 2; q++ {
+		rho := s.ReducedDensityMatrix(q)
+		if math.Abs(real(rho.At(0, 0))-0.5) > tol || math.Abs(real(rho.At(1, 1))-0.5) > tol {
+			t.Errorf("qubit %d not maximally mixed", q)
+		}
+		if math.Abs(real(rho.At(0, 1))) > tol {
+			t.Errorf("qubit %d has coherences", q)
+		}
+	}
+}
+
+func TestEntanglementEntropy(t *testing.T) {
+	// Product state: entropy 0.
+	s := NewState(3)
+	s.ApplyOne(H, 0)
+	if h := s.EntanglementEntropy(0); math.Abs(h) > 1e-9 {
+		t.Errorf("product state entropy %v", h)
+	}
+	// Bell: 1 bit.
+	s.ApplyTwo(CNOT, 0, 1)
+	if h := s.EntanglementEntropy(0); math.Abs(h-1) > 1e-9 {
+		t.Errorf("Bell entropy %v, want 1", h)
+	}
+	// GHZ-3 is "fully entangled" in the bipartite sense: any single
+	// qubit carries 1 bit.
+	s.ApplyTwo(CNOT, 1, 2)
+	for q := 0; q < 3; q++ {
+		if h := s.EntanglementEntropy(q); math.Abs(h-1) > 1e-9 {
+			t.Errorf("GHZ qubit %d entropy %v", q, h)
+		}
+	}
+	// Two-qubit cut of GHZ-3 still has entropy 1 (GHZ is not maximally
+	// entangled across larger cuts).
+	if h := s.EntanglementEntropy(0, 1); math.Abs(h-1) > 1e-9 {
+		t.Errorf("GHZ 2-cut entropy %v, want 1", h)
+	}
+}
+
+func TestEntropyOfRandomHaarStateIsHigh(t *testing.T) {
+	// A Haar-random 6-qubit state has near-maximal 1-qubit entanglement
+	// entropy (Page's theorem: ≈1 − O(1/dim)).
+	rng := rand.New(rand.NewSource(8))
+	s := RandomState(6, rng)
+	h := s.EntanglementEntropy(0)
+	if h < 0.9 || h > 1.0+1e-9 {
+		t.Errorf("Haar state entropy %v, want ≈1", h)
+	}
+}
+
+func TestIsProductState(t *testing.T) {
+	s := NewState(2)
+	s.ApplyOne(H, 0)
+	if !s.IsProductState(0, 1e-9) {
+		t.Error("|+>|0> flagged entangled")
+	}
+	s.ApplyTwo(CNOT, 0, 1)
+	if s.IsProductState(0, 1e-9) {
+		t.Error("Bell flagged product")
+	}
+}
+
+func TestHermitianEigenvalues(t *testing.T) {
+	// diag(3, 1) rotated by H: eigenvalues must survive.
+	m := MatrixFromRows(
+		[]complex128{2, 1},
+		[]complex128{1, 2},
+	)
+	evs := hermitianEigenvalues(m)
+	// Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+	lo, hi := evs[0], evs[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if math.Abs(lo-1) > 1e-9 || math.Abs(hi-3) > 1e-9 {
+		t.Errorf("eigenvalues %v, want [1 3]", evs)
+	}
+	// Complex Hermitian case: [[1, i],[-i, 1]] has eigenvalues 0 and 2.
+	mc := MatrixFromRows(
+		[]complex128{1, 1i},
+		[]complex128{-1i, 1},
+	)
+	evs = hermitianEigenvalues(mc)
+	lo, hi = evs[0], evs[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if math.Abs(lo) > 1e-9 || math.Abs(hi-2) > 1e-9 {
+		t.Errorf("complex eigenvalues %v, want [0 2]", evs)
+	}
+}
+
+func TestReducedDensityPanics(t *testing.T) {
+	s := NewState(2)
+	assert := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	assert(func() { s.ReducedDensityMatrix() })
+	assert(func() { s.ReducedDensityMatrix(0, 0) })
+	assert(func() { s.ReducedDensityMatrix(5) })
+}

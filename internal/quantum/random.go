@@ -1,0 +1,69 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// RandomState returns a Haar-random pure state on n qubits, drawn from the
+// given PRNG (Gaussian amplitudes, normalised).
+func RandomState(n int, rng *rand.Rand) *State {
+	s := NewState(n)
+	for i := range s.amps {
+		s.amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	s.Normalize()
+	return s
+}
+
+// RandomUnitary returns an approximately Haar-random n×n unitary generated
+// by Gram–Schmidt orthonormalisation of a complex Gaussian matrix.
+func RandomUnitary(n int, rng *rand.Rand) Matrix {
+	m := NewMatrix(n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	// Gram–Schmidt over columns.
+	for c := 0; c < n; c++ {
+		for prev := 0; prev < c; prev++ {
+			var dot complex128
+			for r := 0; r < n; r++ {
+				dot += cmplx.Conj(m.Data[r*n+prev]) * m.Data[r*n+c]
+			}
+			for r := 0; r < n; r++ {
+				m.Data[r*n+c] -= dot * m.Data[r*n+prev]
+			}
+		}
+		var norm float64
+		for r := 0; r < n; r++ {
+			v := m.Data[r*n+c]
+			norm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			// Degenerate draw; replace with a basis vector to keep the
+			// matrix well formed.
+			m.Data[c*n+c] = 1
+			continue
+		}
+		inv := complex(1/norm, 0)
+		for r := 0; r < n; r++ {
+			m.Data[r*n+c] *= inv
+		}
+	}
+	return m
+}
+
+// RandomPauli returns a uniformly random non-identity Pauli matrix
+// (X, Y or Z).
+func RandomPauli(rng *rand.Rand) Matrix {
+	switch rng.Intn(3) {
+	case 0:
+		return X
+	case 1:
+		return Y
+	default:
+		return Z
+	}
+}

@@ -1,0 +1,78 @@
+package qx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result aggregates the outcome of a multi-shot execution. The paper notes
+// that quantum accelerators aggregate measurement statistics over multiple
+// runs inside the accelerator itself; Result is that aggregate.
+type Result struct {
+	NumQubits int
+	Shots     int
+	// Counts maps a measured basis-state index to its occurrence count.
+	Counts map[int]int
+	// GateErrorsInjected counts stochastic Pauli errors inserted by the
+	// noise model across all shots (diagnostic).
+	GateErrorsInjected int
+}
+
+// Probability returns the empirical probability of basis state idx.
+func (r *Result) Probability(idx int) float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.Counts[idx]) / float64(r.Shots)
+}
+
+// Top returns the k most frequent outcomes in descending order.
+func (r *Result) Top(k int) []Outcome {
+	out := make([]Outcome, 0, len(r.Counts))
+	for idx, c := range r.Counts {
+		out = append(out, Outcome{Index: idx, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Index < out[j].Index
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Best returns the most frequent outcome index.
+func (r *Result) Best() int {
+	best, bestCount := 0, -1
+	for idx, c := range r.Counts {
+		if c > bestCount || (c == bestCount && idx < best) {
+			best, bestCount = idx, c
+		}
+	}
+	return best
+}
+
+// Outcome is one (basis state, count) pair.
+type Outcome struct {
+	Index int
+	Count int
+}
+
+// BitString renders idx as a binary string of width n with qubit 0 as the
+// rightmost character (matching the amplitude-index convention).
+func BitString(idx, n int) string {
+	return fmt.Sprintf("%0*b", n, idx)
+}
+
+// Histogram renders the result as sorted "bitstring: count" lines.
+func (r *Result) Histogram() string {
+	var b strings.Builder
+	for _, o := range r.Top(len(r.Counts)) {
+		fmt.Fprintf(&b, "%s: %d (%.3f)\n", BitString(o.Index, r.NumQubits), o.Count, r.Probability(o.Index))
+	}
+	return b.String()
+}

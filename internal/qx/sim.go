@@ -1,0 +1,276 @@
+package qx
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/quantum"
+)
+
+// Simulator executes circuits on perfect or realistic qubits. It mirrors
+// the QX engine of the paper: the micro-architecture sends instructions,
+// the simulator executes them, measures qubit states and returns results.
+type Simulator struct {
+	// Noise selects realistic-qubit execution; nil means perfect qubits.
+	Noise *NoiseModel
+	// EnableFusion fuses runs of consecutive single-qubit gates on the
+	// same qubit into one matrix before application (perfect mode only;
+	// with noise each physical gate must see its own error channel).
+	EnableFusion bool
+
+	rng   *rand.Rand
+	fused []quantum.Matrix // scratch table for fused gates, rebuilt per execution
+}
+
+// New returns a perfect-qubit simulator seeded deterministically.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewNoisy returns a realistic-qubit simulator with the given noise model.
+func NewNoisy(seed int64, noise *NoiseModel) *Simulator {
+	return &Simulator{Noise: noise, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand exposes the simulator PRNG (for callers that interleave their own
+// sampling deterministically).
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// RunState executes the circuit once and returns the final state vector.
+// Measurement gates collapse the state. Intended for perfect-qubit
+// application development where the full state is the artefact of
+// interest.
+func (s *Simulator) RunState(c *circuit.Circuit) (*quantum.State, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	st := quantum.NewState(c.NumQubits)
+	_, _, err := s.executeOnce(c, st)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Run executes the circuit for the given number of shots and aggregates
+// measured outcomes. If the circuit contains no measurement at all, every
+// qubit is measured at the end of each shot.
+func (s *Simulator) Run(c *circuit.Circuit, shots int) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if shots <= 0 {
+		return nil, fmt.Errorf("qx: shots must be positive, got %d", shots)
+	}
+	res := &Result{NumQubits: c.NumQubits, Shots: shots, Counts: map[int]int{}}
+	hasMeasure := circuitMeasures(c)
+	noisy := !s.Noise.IsZero()
+
+	// Perfect, measurement-free circuits are deterministic: execute the
+	// unitary part once and sample the final distribution per shot.
+	if !noisy && !hasMeasure {
+		st := quantum.NewState(c.NumQubits)
+		if _, _, err := s.executeOnce(c, st); err != nil {
+			return nil, err
+		}
+		for i := 0; i < shots; i++ {
+			idx := st.SampleIndex(s.rng)
+			res.Counts[s.applyReadoutError(idx, c.NumQubits)]++
+		}
+		return res, nil
+	}
+
+	st := quantum.NewState(c.NumQubits)
+	for i := 0; i < shots; i++ {
+		st.Reset()
+		bits, errs, err := s.executeOnce(c, st)
+		if err != nil {
+			return nil, err
+		}
+		res.GateErrorsInjected += errs
+		idx := 0
+		if hasMeasure {
+			for q, b := range bits {
+				if b == 1 {
+					idx |= 1 << uint(q)
+				}
+			}
+		} else {
+			idx = st.MeasureAll(s.rng)
+		}
+		res.Counts[s.applyReadoutError(idx, c.NumQubits)]++
+	}
+	return res, nil
+}
+
+// SampleExpectation estimates the expectation of f over measured basis
+// states using the given number of shots.
+func (s *Simulator) SampleExpectation(c *circuit.Circuit, shots int, f func(idx int) float64) (float64, error) {
+	res, err := s.Run(c, shots)
+	if err != nil {
+		return 0, err
+	}
+	var acc float64
+	for idx, count := range res.Counts {
+		acc += f(idx) * float64(count)
+	}
+	return acc / float64(res.Shots), nil
+}
+
+// executeOnce runs all gates on st, returning measured bits per qubit
+// (latest measurement wins) and the number of injected errors.
+func (s *Simulator) executeOnce(c *circuit.Circuit, st *quantum.State) (map[int]int, int, error) {
+	bits := map[int]int{}
+	injected := 0
+	noisy := !s.Noise.IsZero()
+	gates := c.Gates
+	if s.EnableFusion && !noisy {
+		gates = s.fuseSingleQubitRuns(gates)
+	}
+	for _, g := range gates {
+		switch g.Name {
+		case circuit.OpMeasure:
+			q := g.Qubits[0]
+			b := st.MeasureQubit(q, s.rng)
+			if noisy && s.Noise.ReadoutError > 0 && s.rng.Float64() < s.Noise.ReadoutError {
+				b ^= 1
+			}
+			bits[q] = b
+		case circuit.OpMeasureAll:
+			for q := 0; q < c.NumQubits; q++ {
+				b := st.MeasureQubit(q, s.rng)
+				if noisy && s.Noise.ReadoutError > 0 && s.rng.Float64() < s.Noise.ReadoutError {
+					b ^= 1
+				}
+				bits[q] = b
+			}
+		case circuit.OpPrepZ:
+			q := g.Qubits[0]
+			if st.MeasureQubit(q, s.rng) == 1 {
+				st.ApplyOne(quantum.X, q)
+			}
+		case circuit.OpBarrier, circuit.OpWait, circuit.OpDisplay:
+			// No quantum effect; decoherence during explicit waits.
+			if noisy && g.Name == circuit.OpWait && len(g.Params) > 0 {
+				cycles := g.Params[0]
+				for q := 0; q < c.NumQubits; q++ {
+					for k := 0.0; k < cycles; k++ {
+						s.applyDecoherence(st, q)
+					}
+				}
+			}
+		case fusedGateName:
+			st.Apply(s.fused[int(g.Params[0])], g.Qubits...)
+		default:
+			// Classically-controlled gates (feed-forward) fire only when
+			// the referenced measurement bit is 1.
+			if g.HasCond && bits[g.CondBit] != 1 {
+				continue
+			}
+			m, err := g.Matrix()
+			if err != nil {
+				return nil, injected, err
+			}
+			st.Apply(m, g.Qubits...)
+			if noisy {
+				injected += s.applyGateNoise(st, g)
+			}
+		}
+	}
+	return bits, injected, nil
+}
+
+// applyGateNoise inserts the error channels that follow a gate in
+// realistic mode and returns the number of discrete Pauli errors injected.
+func (s *Simulator) applyGateNoise(st *quantum.State, g circuit.Gate) int {
+	p := s.Noise.DepolarizingProb
+	if len(g.Qubits) >= 2 {
+		p = s.Noise.TwoQubitDepolarizingProb
+	}
+	injected := 0
+	for _, q := range g.Qubits {
+		if applyPauliError(st, q, p, s.rng) {
+			injected++
+		}
+		s.applyDecoherence(st, q)
+	}
+	return injected
+}
+
+func (s *Simulator) applyDecoherence(st *quantum.State, q int) {
+	if gamma := s.Noise.ampDampingGamma(); gamma > 0 {
+		applyAmplitudeDamping(st, q, gamma, s.rng)
+	}
+	if lambda := s.Noise.dephasingLambda(); lambda > 0 {
+		applyDephasing(st, q, lambda, s.rng)
+	}
+}
+
+func (s *Simulator) applyReadoutError(idx, n int) int {
+	if s.Noise.IsZero() || s.Noise.ReadoutError == 0 {
+		return idx
+	}
+	for q := 0; q < n; q++ {
+		if s.rng.Float64() < s.Noise.ReadoutError {
+			idx ^= 1 << uint(q)
+		}
+	}
+	return idx
+}
+
+func circuitMeasures(c *circuit.Circuit) bool {
+	for _, g := range c.Gates {
+		if g.Name == circuit.OpMeasure || g.Name == circuit.OpMeasureAll {
+			return true
+		}
+	}
+	return false
+}
+
+// fusedGateName marks a synthetic gate produced by fusion; Params[0]
+// indexes the simulator's fused-matrix table, which is rebuilt per
+// execution.
+const fusedGateName = "__fused"
+
+// fuseSingleQubitRuns merges consecutive single-qubit unitaries acting on
+// the same qubit into one matrix. This is the gate-fusion optimisation
+// benchmarked in the ablation suite.
+func (s *Simulator) fuseSingleQubitRuns(gates []circuit.Gate) []circuit.Gate {
+	s.fused = s.fused[:0]
+	out := make([]circuit.Gate, 0, len(gates))
+	i := 0
+	for i < len(gates) {
+		g := gates[i]
+		if !g.IsUnitary() || len(g.Qubits) != 1 || g.HasCond {
+			out = append(out, g)
+			i++
+			continue
+		}
+		// Collect the run of single-qubit gates on this qubit.
+		q := g.Qubits[0]
+		m, _ := g.Matrix()
+		j := i + 1
+		for j < len(gates) {
+			nx := gates[j]
+			if !nx.IsUnitary() || len(nx.Qubits) != 1 || nx.Qubits[0] != q || nx.HasCond {
+				break
+			}
+			nm, _ := nx.Matrix()
+			m = nm.Mul(m)
+			j++
+		}
+		if j == i+1 {
+			out = append(out, g)
+		} else {
+			s.fused = append(s.fused, m)
+			out = append(out, circuit.Gate{
+				Name:   fusedGateName,
+				Qubits: []int{q},
+				Params: []float64{float64(len(s.fused) - 1)},
+			})
+		}
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package qx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+func TestRunStateBell(t *testing.T) {
+	sim := New(1)
+	st, err := sim.RunState(circuit.Bell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := st.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-9 || math.Abs(p[3]-0.5) > 1e-9 {
+		t.Errorf("Bell state probabilities %v", p)
+	}
+}
+
+func TestRunShotsBell(t *testing.T) {
+	sim := New(2)
+	res, err := sim.Run(circuit.Bell(), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p00 := res.Probability(0)
+	p11 := res.Probability(3)
+	if math.Abs(p00-0.5) > 0.05 || math.Abs(p11-0.5) > 0.05 {
+		t.Errorf("Bell sampling p00=%v p11=%v", p00, p11)
+	}
+	if res.Counts[1]+res.Counts[2] != 0 {
+		t.Errorf("impossible Bell outcomes observed: %v", res.Counts)
+	}
+}
+
+func TestRunWithExplicitMeasure(t *testing.T) {
+	sim := New(3)
+	c := circuit.New("m", 2).H(0).CNOT(0, 1).Measure(0).Measure(1)
+	res, err := sim.Run(c, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range res.Counts {
+		if idx != 0 && idx != 3 {
+			t.Errorf("correlated measurement broken: outcome %d", idx)
+		}
+	}
+}
+
+func TestRunRejectsBadShots(t *testing.T) {
+	sim := New(1)
+	if _, err := sim.Run(circuit.Bell(), 0); err == nil {
+		t.Error("shots=0 accepted")
+	}
+}
+
+func TestPrepZ(t *testing.T) {
+	sim := New(5)
+	c := circuit.New("p", 1).X(0).PrepZ(0).Measure(0)
+	res, err := sim.Run(c, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0] != 100 {
+		t.Errorf("prep_z did not reset: %v", res.Counts)
+	}
+}
+
+func TestNoisyGHZDegrades(t *testing.T) {
+	shots := 600
+	perfect := New(7)
+	ghz := circuit.GHZ(5)
+	resP, err := perfect.Run(ghz, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resP.Counts[0]+resP.Counts[31] != shots {
+		t.Error("perfect GHZ should only yield all-0 or all-1")
+	}
+	noisy := NewNoisy(7, Depolarizing(0.05))
+	resN, err := noisy.Run(ghz, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := resN.Counts[0] + resN.Counts[31]
+	if good == shots {
+		t.Error("noisy GHZ produced zero errors at 5% depolarising")
+	}
+	if resN.GateErrorsInjected == 0 {
+		t.Error("no gate errors recorded")
+	}
+	if float64(good)/float64(shots) < 0.3 {
+		t.Errorf("noise too destructive: only %d/%d good", good, shots)
+	}
+}
+
+func TestReadoutError(t *testing.T) {
+	sim := NewNoisy(11, &NoiseModel{ReadoutError: 0.5})
+	c := circuit.New("ro", 1) // identity circuit: ideal outcome always 0
+	res, err := sim.Run(c, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := res.Probability(1)
+	if math.Abs(p1-0.5) > 0.05 {
+		t.Errorf("50%% readout error gives P(1)=%v", p1)
+	}
+}
+
+func TestAmplitudeDampingRelaxesToGround(t *testing.T) {
+	// Strong T1 relative to gate time: |1> should decay towards |0> over
+	// many idle gates.
+	noise := &NoiseModel{T1: 100, GateTimeNs: 100} // gamma ≈ 0.63 per gate
+	sim := NewNoisy(13, noise)
+	c := circuit.New("t1", 1).X(0)
+	for i := 0; i < 10; i++ {
+		c.I(0)
+	}
+	res, err := sim.Run(c, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 := res.Probability(0); p0 < 0.9 {
+		t.Errorf("after 10 decay steps P(0)=%v, want >0.9", p0)
+	}
+}
+
+func TestDephasingDestroysCoherence(t *testing.T) {
+	// H, heavy dephasing, H: without noise returns |0>; dephasing turns
+	// the middle state into a mixture so the final distribution is ~50/50.
+	noise := &NoiseModel{T2: 10, GateTimeNs: 1000}
+	sim := NewNoisy(17, noise)
+	c := circuit.New("t2", 1).H(0).I(0).H(0)
+	res, err := sim.Run(c, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := res.Probability(1)
+	if math.Abs(p1-0.5) > 0.06 {
+		t.Errorf("dephased Ramsey P(1)=%v, want ≈0.5", p1)
+	}
+}
+
+func TestFusionMatchesUnfused(t *testing.T) {
+	c := circuit.New("f", 2)
+	c.H(0).T(0).S(0).RZ(0, 0.3).H(1).CNOT(0, 1).X(1).Y(1)
+	plain := New(21)
+	fused := New(21)
+	fused.EnableFusion = true
+	sa, err := plain.RunState(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := fused.RunState(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := sa.Fidelity(sb); math.Abs(f-1) > 1e-9 {
+		t.Errorf("fusion changed the state: fidelity %v", f)
+	}
+}
+
+// Property: fusion never changes measurement distributions for random
+// circuits.
+func TestFusionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		sim := New(seed)
+		c := circuit.RandomCircuit(4, 4, sim.Rand())
+		a, err := New(99).RunState(c)
+		if err != nil {
+			return false
+		}
+		fs := New(99)
+		fs.EnableFusion = true
+		b, err := fs.RunState(c)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.Fidelity(b)-1) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleExpectation(t *testing.T) {
+	sim := New(31)
+	// <Z0> on |+> is 0; encode Z0 as f(idx).
+	c := circuit.New("e", 1).H(0)
+	z0 := func(idx int) float64 {
+		if idx&1 == 1 {
+			return -1
+		}
+		return 1
+	}
+	v, err := sim.SampleExpectation(c, 4000, z0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v) > 0.06 {
+		t.Errorf("<Z> on |+> = %v, want ≈0", v)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{NumQubits: 2, Shots: 10, Counts: map[int]int{0: 7, 3: 3}}
+	if r.Best() != 0 {
+		t.Error("Best wrong")
+	}
+	top := r.Top(1)
+	if len(top) != 1 || top[0].Index != 0 || top[0].Count != 7 {
+		t.Errorf("Top wrong: %v", top)
+	}
+	if BitString(3, 4) != "0011" {
+		t.Errorf("BitString = %q", BitString(3, 4))
+	}
+	if r.Histogram() == "" {
+		t.Error("empty histogram")
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	c := circuit.New("d", 3).H(0).H(1).H(2)
+	a, _ := New(5).Run(c, 100)
+	b, _ := New(5).Run(c, 100)
+	for idx, n := range a.Counts {
+		if b.Counts[idx] != n {
+			t.Fatal("same seed produced different results")
+		}
+	}
+}
+
+func TestNoiseModelHelpers(t *testing.T) {
+	var nilModel *NoiseModel
+	if !nilModel.IsZero() {
+		t.Error("nil model should be zero")
+	}
+	if Superconducting().IsZero() {
+		t.Error("superconducting model should not be zero")
+	}
+	m := &NoiseModel{T1: 1000, GateTimeNs: 20}
+	if g := m.ampDampingGamma(); g <= 0 || g >= 1 {
+		t.Errorf("gamma = %v", g)
+	}
+	if l := (&NoiseModel{}).dephasingLambda(); l != 0 {
+		t.Errorf("lambda without T2 = %v", l)
+	}
+}

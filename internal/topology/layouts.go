@@ -1,0 +1,132 @@
+package topology
+
+import "fmt"
+
+// Linear returns a 1-D chain of n qubits, the simplest NN layout.
+func Linear(n int) *Topology {
+	t := New(fmt.Sprintf("linear-%d", n), n)
+	for i := 0; i+1 < n; i++ {
+		t.AddEdge(i, i+1)
+	}
+	return t
+}
+
+// Ring returns a 1-D cycle of n qubits.
+func Ring(n int) *Topology {
+	t := Linear(n)
+	t.Name = fmt.Sprintf("ring-%d", n)
+	if n > 2 {
+		t.AddEdge(n-1, 0)
+	}
+	return t
+}
+
+// Grid returns a rows×cols 2-D lattice with nearest-neighbour edges — the
+// layout the paper identifies as the one most quantum technologies
+// pursue.
+func Grid(rows, cols int) *Topology {
+	t := New(fmt.Sprintf("grid-%dx%d", rows, cols), rows*cols)
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				t.AddEdge(idx(r, c), idx(r, c+1))
+			}
+			if r+1 < rows {
+				t.AddEdge(idx(r, c), idx(r+1, c))
+			}
+		}
+	}
+	return t
+}
+
+// FullyConnected returns the complete graph over n qubits: the perfect-
+// qubit abstraction where the NN constraint is waived.
+func FullyConnected(n int) *Topology {
+	t := New(fmt.Sprintf("full-%d", n), n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			t.AddEdge(a, b)
+		}
+	}
+	return t
+}
+
+// Star returns a hub-and-spoke graph with qubit 0 at the centre (ion-trap
+// style shared bus abstraction).
+func Star(n int) *Topology {
+	t := New(fmt.Sprintf("star-%d", n), n)
+	for i := 1; i < n; i++ {
+		t.AddEdge(0, i)
+	}
+	return t
+}
+
+// Surface17 returns the 17-qubit planar surface-code layout (distance-3)
+// used by the paper's group for superconducting experiments: a 3×3 block
+// of data qubits (0..8) interleaved with 8 ancilla qubits (9..16), each
+// ancilla coupled to its 2 or 4 surrounding data qubits.
+func Surface17() *Topology {
+	t := New("surface-17", 17)
+	// Data qubits on a 3×3 grid: d(r,c) = r*3+c for r,c in 0..2.
+	d := func(r, c int) int { return r*3 + c }
+	// Z ancillas (bulk): between rows, X ancillas between columns, plus
+	// boundary ancillas. Connectivity follows the standard surface-17
+	// pattern: four 4-degree bulk ancillas and four 2-degree boundary
+	// ancillas.
+	type anc struct {
+		id    int
+		plaqs [][2]int
+	}
+	ancillas := []anc{
+		{9, [][2]int{{0, 0}, {0, 1}}},                  // boundary X top-left
+		{10, [][2]int{{0, 1}, {0, 2}, {1, 1}, {1, 2}}}, // bulk
+		{11, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}}, // bulk
+		{12, [][2]int{{0, 2}, {1, 2}}},                 // boundary right
+		{13, [][2]int{{1, 0}, {2, 0}}},                 // boundary left
+		{14, [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}}}, // bulk
+		{15, [][2]int{{1, 0}, {1, 1}, {2, 0}, {2, 1}}}, // bulk
+		{16, [][2]int{{2, 1}, {2, 2}}},                 // boundary bottom-right
+	}
+	for _, a := range ancillas {
+		for _, p := range a.plaqs {
+			t.AddEdge(a.id, d(p[0], p[1]))
+		}
+	}
+	return t
+}
+
+// Chimera returns the D-Wave Chimera graph C(m, n, k): an m×n grid of
+// K_{k,k} unit cells, with horizontal/vertical inter-cell couplers. The
+// 2000Q corresponds to C(16, 16, 4) = 2048 qubits.
+func Chimera(m, n, k int) *Topology {
+	t := New(fmt.Sprintf("chimera-%dx%dx%d", m, n, k), m*n*2*k)
+	// Qubit index: cell (r,c), side s (0=left/vertical, 1=right/
+	// horizontal), offset o in 0..k-1.
+	idx := func(r, c, s, o int) int { return ((r*n+c)*2+s)*k + o }
+	for r := 0; r < m; r++ {
+		for c := 0; c < n; c++ {
+			// Intra-cell complete bipartite couplings.
+			for a := 0; a < k; a++ {
+				for b := 0; b < k; b++ {
+					t.AddEdge(idx(r, c, 0, a), idx(r, c, 1, b))
+				}
+			}
+			// Vertical couplers join left-side qubits of vertically
+			// adjacent cells.
+			if r+1 < m {
+				for o := 0; o < k; o++ {
+					t.AddEdge(idx(r, c, 0, o), idx(r+1, c, 0, o))
+				}
+			}
+			// Horizontal couplers join right-side qubits of horizontally
+			// adjacent cells.
+			if c+1 < n {
+				for o := 0; o < k; o++ {
+					t.AddEdge(idx(r, c, 1, o), idx(r, c+1, 1, o))
+				}
+			}
+		}
+	}
+	return t
+}
