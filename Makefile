@@ -1,0 +1,26 @@
+# Tier-1 verification for the repro module. `make ci` is what the CI
+# workflow runs; its first step (build) is the guard that keeps the
+# go.mod regression from recurring.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: build vet race

@@ -7,12 +7,14 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/accel"
 	"repro/internal/algo"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/openql"
 	"repro/internal/qaoa"
 	"repro/internal/qec"
+	"repro/internal/qserv"
 	"repro/internal/qubo"
 	"repro/internal/qx"
 	"repro/internal/rb"
@@ -97,7 +100,7 @@ func BenchmarkE1_HeterogeneousOffload(b *testing.B) {
 	}
 	b.StopTimer()
 	report("E1 heterogeneous offload", fmt.Sprintf(
-		"accelerators: %v\ndispatches logged: %d\n", host.Accelerators(), len(host.Log)))
+		"accelerators: %v\ndispatches logged: %d\n", host.Accelerators(), len(host.Dispatches())))
 }
 
 // E2 — Fig 2: the same program on perfect vs realistic full stacks.
@@ -551,4 +554,74 @@ func BenchmarkE16_ShorFactoring(b *testing.B) {
 	report("E16 Shor factoring", fmt.Sprintf(
 		"N=15 → %d × %d (base a=%d, order %d, %d attempts; 10-qubit register)\n",
 		res.Factors[0], res.Factors[1], res.A, res.Order, res.Attempts))
+}
+
+// E17 — the qserv service layer (ISSUE 1): cold compile versus the
+// compiled-circuit cache on resubmission. The cached path skips
+// decomposition, optimisation, Surface-17 mapping, scheduling and eQASM
+// assembly, going straight to seeded QX execution — it must be
+// measurably faster than the cold path.
+func BenchmarkQservColdVsCachedSubmit(b *testing.B) {
+	prog := openql.NewProgram("qserv-bench", 5)
+	k := openql.NewKernel("layer", 5)
+	for q := 0; q < 5; q++ {
+		k.H(q)
+	}
+	for q := 0; q < 4; q++ {
+		k.CNOT(q, q+1)
+	}
+	for q := 0; q < 5; q++ {
+		k.RZ(q, 0.1*float64(q+1))
+	}
+	// Explicit per-qubit measures: measure_all would expand to the whole
+	// 17-qubit chip in eQASM and the execution cost would swamp the
+	// compile-path difference this benchmark isolates.
+	for q := 0; q < 5; q++ {
+		k.Measure(q)
+	}
+	prog.AddKernel(k)
+
+	s := qserv.New(qserv.Config{Seed: 17})
+	s.AddBackend(qserv.NewStackBackend(core.NewSuperconducting(17)), 2)
+	s.Start()
+	defer s.Stop()
+
+	// One shot per job: execution is identical in both arms, so a minimal
+	// shot count isolates the compile-versus-cache difference.
+	submit := func(b *testing.B) {
+		j, err := s.Submit(qserv.Request{Program: prog, Backend: "superconducting", Shots: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var cold, cached time.Duration
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Cache().Clear()
+			submit(b)
+		}
+		cold = b.Elapsed() / time.Duration(b.N)
+	})
+	b.Run("cached", func(b *testing.B) {
+		submit(b) // warm the cache entry
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			submit(b)
+		}
+		cached = b.Elapsed() / time.Duration(b.N)
+		if st := s.Cache().Stats(); st.Hits == 0 {
+			b.Fatal("cached path never hit the cache")
+		}
+	})
+	if cold > 0 && cached > 0 {
+		b.ReportMetric(float64(cold)/float64(cached), "cold/cached")
+		report("E17 qserv compiled-circuit cache (cold vs cached resubmit)", fmt.Sprintf(
+			"cold submit   %8.1f µs/job\ncached submit %8.1f µs/job\nspeedup       %8.2fx\n",
+			float64(cold.Nanoseconds())/1e3, float64(cached.Nanoseconds())/1e3,
+			float64(cold)/float64(cached)))
+	}
 }

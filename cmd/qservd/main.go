@@ -1,0 +1,74 @@
+// qservd serves the heterogeneous quantum accelerator system of Fig 1
+// over HTTP: gate jobs (cQASM) on the perfect, superconducting and
+// semiconducting stacks, QUBO jobs on the simulated quantum annealer,
+// and a classical brute-force fallback — all behind a bounded job queue,
+// per-backend worker pools and a shared compiled-circuit cache.
+//
+// Usage:
+//
+//	qservd [-addr :8080] [-qubits 10] [-workers 2] [-queue 256] [-cache 512] [-shots 1024] [-seed 1]
+//
+// API:
+//
+//	POST /submit        {"cqasm": "...", "backend": "perfect", "shots": 1024}
+//	                    {"qubo": {"n": 3, "terms": [{"i":0,"j":0,"v":-1}]}, "backend": "annealer"}
+//	GET  /jobs/{id}     job status and result; ?wait=2s long-polls
+//	GET  /stats         queue depth, per-backend throughput, cache hit rate
+//	GET  /healthz       liveness probe
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/qserv"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	qubits := flag.Int("qubits", 10, "qubit count of the perfect stack")
+	workers := flag.Int("workers", 2, "workers per backend pool")
+	queue := flag.Int("queue", 256, "bounded job queue size")
+	cache := flag.Int("cache", 512, "compiled-circuit cache entries (negative disables)")
+	shots := flag.Int("shots", 1024, "default shots per gate job")
+	seed := flag.Int64("seed", 1, "base seed for per-job seed derivation")
+	flag.Parse()
+
+	svc := qserv.DefaultService(qserv.Config{
+		QueueSize:      *queue,
+		DefaultWorkers: *workers,
+		DefaultShots:   *shots,
+		CacheSize:      *cache,
+		Seed:           *seed,
+	}, *qubits, *workers)
+	svc.Start()
+
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	go func() {
+		log.Printf("qservd: serving on %s (backends: perfect, superconducting, semiconducting, annealer, classical)", *addr)
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("qservd: %v", err)
+		}
+	}()
+
+	// Graceful shutdown: stop accepting, drain the queue, then exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("qservd: shutting down, draining queue")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		log.Printf("qservd: shutdown: %v", err)
+	}
+	svc.Stop()
+	st := svc.Stats()
+	log.Printf("qservd: done — %d jobs submitted, %d done, %d failed, cache hit rate %.0f%%",
+		st.JobsSubmitted, st.JobsDone, st.JobsFailed, 100*st.CacheHitRate)
+}

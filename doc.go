@@ -14,6 +14,15 @@
 // internal/grover), and hybrid optimisation (internal/tsp, internal/qubo,
 // internal/anneal, internal/embed, internal/qaoa).
 //
+// Above the single-caller stack sits the concurrent accelerator service
+// (internal/qserv): a bounded job queue feeding per-backend worker pools
+// over the heterogeneous accelerators of Fig 1 — the gate-based stacks,
+// the annealer and the classical fallback (internal/accel) — with a
+// shared compiled-circuit cache so repeated submissions skip the compile
+// pipeline. cmd/qservd serves it over HTTP (/submit, /jobs/{id}, /stats)
+// and examples/service drives the API end to end; this is the host-side
+// runtime that turns the reproduction into a multi-tenant system.
+//
 // The benchmark harness in bench_test.go regenerates every figure and
 // quantitative claim of the paper; see DESIGN.md for the experiment index
 // and EXPERIMENTS.md for paper-vs-measured results.

@@ -1,0 +1,139 @@
+// Service example: the accelerator-as-a-service loop end to end. A qserv
+// instance is started in-process on a loopback port, then driven purely
+// over its HTTP API the way a remote classical host would: submit gate
+// jobs (cQASM text) to heterogeneous backends and a QUBO to the annealer,
+// long-poll for results, resubmit to demonstrate the compiled-circuit
+// cache, and read back /stats.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/qserv"
+)
+
+const bell = `version 1.0
+qubits 2
+.bell
+h q[0]
+cnot q[0], q[1]
+measure q[0]
+measure q[1]
+`
+
+const ghz = `version 1.0
+qubits 3
+.ghz
+h q[0]
+cnot q[0], q[1]
+cnot q[1], q[2]
+measure q[0]
+measure q[1]
+measure q[2]
+`
+
+func main() {
+	// Server side: the default Fig 1 system behind the HTTP API.
+	svc := qserv.DefaultService(qserv.Config{Seed: 42}, 8, 2)
+	svc.Start()
+	defer svc.Stop()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, svc.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("qserv listening on %s\n\n", base)
+
+	// Client side: everything below uses only net/http + JSON.
+	submit := func(req qserv.SubmitRequest) string {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(base+"/submit", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr qserv.SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			log.Fatalf("submit rejected: %d", resp.StatusCode)
+		}
+		fmt.Printf("submitted %-7s → backend %-15s (%s)\n", req.Name, sr.Backend, sr.ID)
+		return sr.ID
+	}
+	await := func(id string) qserv.JobView {
+		resp, err := http.Get(base + "/jobs/" + id + "?wait=30s")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jv qserv.JobView
+		if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+			log.Fatal(err)
+		}
+		if jv.Status != qserv.StatusDone {
+			log.Fatalf("job %s: status %s, error %q", id, jv.Status, jv.Error)
+		}
+		return jv
+	}
+
+	// 1. The same Bell circuit on perfect and realistic backends.
+	ids := []string{
+		submit(qserv.SubmitRequest{Name: "bell", CQASM: bell, Backend: "perfect", Shots: 1024}),
+		submit(qserv.SubmitRequest{Name: "bell", CQASM: bell, Backend: "superconducting", Shots: 1024}),
+		submit(qserv.SubmitRequest{Name: "ghz", CQASM: ghz, Backend: "perfect", Shots: 1024}),
+	}
+	// 2. A QUBO for the annealer: minimum at x = (1,1,0), energy -2.
+	ids = append(ids, submit(qserv.SubmitRequest{
+		Name:    "qubo",
+		Backend: "annealer",
+		QUBO: &qserv.QUBOJSON{N: 3, Terms: []qserv.QUBOTerm{
+			{I: 0, J: 0, V: -1}, {I: 1, J: 1, V: -1}, {I: 0, J: 2, V: 2},
+		}},
+	}))
+
+	fmt.Println()
+	for _, id := range ids {
+		jv := await(id)
+		switch {
+		case jv.Result.Counts != nil:
+			fmt.Printf("%-7s on %-15s %5.1f ms  wall %6d ns  counts %v\n",
+				jv.Name, jv.Backend, jv.ElapsedMs, jv.Result.WallNs, jv.Result.Counts)
+		case jv.Result.Energy != nil:
+			fmt.Printf("%-7s on %-15s %5.1f ms  bits %v  energy %v\n",
+				jv.Name, jv.Backend, jv.ElapsedMs, jv.Result.Bits, *jv.Result.Energy)
+		}
+	}
+
+	// 3. Resubmit the Bell circuit: the compile pipeline is skipped.
+	fmt.Println()
+	rerun := await(submit(qserv.SubmitRequest{Name: "bell", CQASM: bell, Backend: "perfect", Shots: 1024}))
+	fmt.Printf("resubmission cache hit: %v (%.1f ms)\n", rerun.CacheHit, rerun.ElapsedMs)
+
+	// 4. Operator view.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st qserv.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/stats: %d submitted, %d done, queue %d/%d, cache hit rate %.0f%%\n",
+		st.JobsSubmitted, st.JobsDone, st.QueueDepth, st.QueueCap, 100*st.CacheHitRate)
+	for _, b := range st.Backends {
+		if b.JobsDone == 0 {
+			continue
+		}
+		fmt.Printf("  %-15s %d jobs, %.1f jobs/s, busy %.1f ms\n",
+			b.Name, b.JobsDone, b.JobsPerSec, b.BusyMs)
+	}
+}

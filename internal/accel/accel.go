@@ -8,6 +8,7 @@ package accel
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/anneal"
@@ -145,10 +146,14 @@ type Dispatch struct {
 }
 
 // Host is the classical control processor of Fig 1: it owns the
-// accelerator registry and delegates kernels.
+// accelerator registry and delegates kernels. Offload and Dispatches are
+// safe for concurrent use, so worker pools (internal/qserv) can share one
+// host; Register is not — wire the system up before serving traffic.
 type Host struct {
 	accelerators []Accelerator
-	Log          []Dispatch
+
+	mu  sync.Mutex
+	log []Dispatch
 }
 
 // NewHost returns an empty host.
@@ -166,6 +171,15 @@ func (h *Host) Accelerators() []string {
 	return out
 }
 
+// Dispatches returns a snapshot of the offload log for Amdahl accounting.
+func (h *Host) Dispatches() []Dispatch {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Dispatch, len(h.log))
+	copy(out, h.log)
+	return out
+}
+
 // Offload delegates a task to the first accelerator that accepts it.
 func (h *Host) Offload(t Task) (interface{}, error) {
 	for _, a := range h.accelerators {
@@ -174,12 +188,14 @@ func (h *Host) Offload(t Task) (interface{}, error) {
 		}
 		start := time.Now()
 		out, err := a.Execute(t)
-		h.Log = append(h.Log, Dispatch{
+		h.mu.Lock()
+		h.log = append(h.log, Dispatch{
 			TaskKind:    t.Kind(),
 			Accelerator: a.Name(),
 			Elapsed:     time.Since(start),
 			Err:         err,
 		})
+		h.mu.Unlock()
 		return out, err
 	}
 	return nil, fmt.Errorf("accel: no accelerator accepts task kind %q", t.Kind())

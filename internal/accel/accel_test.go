@@ -27,8 +27,8 @@ func TestHostOffloadCircuit(t *testing.T) {
 	if rep.Result.Shots != 500 {
 		t.Error("shots lost")
 	}
-	if len(h.Log) != 1 || h.Log[0].TaskKind != "quantum-circuit" {
-		t.Errorf("dispatch log wrong: %+v", h.Log)
+	if log := h.Dispatches(); len(log) != 1 || log[0].TaskKind != "quantum-circuit" {
+		t.Errorf("dispatch log wrong: %+v", log)
 	}
 }
 
@@ -89,8 +89,8 @@ func TestDigitalAnnealerPreferredWhenFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Log[0].Accelerator != "digital-annealer" {
-		t.Errorf("dispatched to %s", h.Log[0].Accelerator)
+	if log := h.Dispatches(); log[0].Accelerator != "digital-annealer" {
+		t.Errorf("dispatched to %s", log[0].Accelerator)
 	}
 	if out.(*anneal.Result).Bits[0] != 1 {
 		t.Error("wrong solution")
@@ -146,7 +146,7 @@ func TestHybridLoopProposeError(t *testing.T) {
 func TestDispatchTiming(t *testing.T) {
 	h := DefaultSystem(2, 9)
 	_, _ = h.Offload(ClassicalTask{Name: "noop", F: func() (interface{}, error) { return nil, nil }})
-	if len(h.Log) != 1 || h.Log[0].Elapsed < 0 {
+	if log := h.Dispatches(); len(log) != 1 || log[0].Elapsed < 0 {
 		t.Error("dispatch timing not recorded")
 	}
 }

@@ -95,20 +95,39 @@ type Report struct {
 
 // Execute compiles and runs an OpenQL program on the stack.
 func (s *Stack) Execute(p *openql.Program, shots int) (*Report, error) {
+	compiled, err := s.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunCompiled(compiled, p.NumQubits, shots, s.Seed)
+}
+
+// Compile lowers a program through the stack's compiler configuration and
+// returns every intermediate artefact, without executing anything. The
+// result is immutable by convention and may be cached and re-executed any
+// number of times via RunCompiled — this is the cache-friendly entry point
+// the qserv service builds its compiled-circuit cache on.
+func (s *Stack) Compile(p *openql.Program) (*openql.Compiled, error) {
 	if p.NumQubits > s.Platform.NumQubits {
 		return nil, fmt.Errorf("core: program needs %d qubits, stack %q has %d",
 			p.NumQubits, s.Name, s.Platform.NumQubits)
 	}
-	compiled, err := p.Compile(openql.CompileOptions{
+	return p.Compile(openql.CompileOptions{
 		Mode:     s.Mode,
 		Platform: s.Platform,
 		Optimize: s.Optimize,
 		Policy:   s.Policy,
 		Mapping:  s.Mapping,
 	})
-	if err != nil {
-		return nil, err
-	}
+}
+
+// RunCompiled executes an already-compiled program for the given number of
+// shots, seeding a fresh simulator (and, on realistic stacks, a fresh
+// micro-architecture machine) per call. logicalQubits is the qubit count
+// of the source program, needed to translate outcomes back to logical
+// order. It is safe for concurrent use: the Stack is only read, and all
+// mutable execution state is created per call.
+func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int, seed int64) (*Report, error) {
 	report := &Report{
 		Stack:    s.Name,
 		Mode:     s.Mode,
@@ -118,27 +137,38 @@ func (s *Stack) Execute(p *openql.Program, shots int) (*Report, error) {
 		WallNs:   compiled.Schedule.Makespan * s.Platform.CycleTimeNs,
 	}
 	if s.Mode == openql.PerfectQubits {
-		sim := qx.New(s.Seed)
+		sim := qx.New(seed)
 		res, err := sim.Run(compiled.Circuit, shots)
 		if err != nil {
 			return nil, err
 		}
-		report.Result = toLogical(res, p.NumQubits, compiled.MapResult)
+		report.Result = toLogical(res, logicalQubits, compiled.MapResult)
 		return report, nil
 	}
 	// Realistic path: eQASM through the micro-architecture onto noisy QX.
-	machine := microarch.New(s.Microcode, qx.NewNoisy(s.Seed, s.Noise))
+	machine := microarch.New(s.Microcode, qx.NewNoisy(seed, s.Noise))
 	run, err := machine.Execute(compiled.EQASM, shots)
 	if err != nil {
 		return nil, err
 	}
 	report.EQASM = compiled.EQASM.String()
-	report.Result = toLogical(run.Result, p.NumQubits, compiled.MapResult)
+	report.Result = toLogical(run.Result, logicalQubits, compiled.MapResult)
 	report.Trace = run.Trace
 	if run.Trace != nil {
 		report.WallNs = run.Trace.TotalNs
 	}
 	return report, nil
+}
+
+// Fingerprint identifies the stack's compiler-relevant configuration. Two
+// stacks with equal fingerprints produce identical Compile output for the
+// same program, so it is the stack half of a compiled-circuit cache key
+// (seed and noise are deliberately excluded: they affect execution, not
+// compilation).
+func (s *Stack) Fingerprint() string {
+	return fmt.Sprintf("%s|%s|%s|q%d|opt=%v|%s|map=%+v",
+		s.Name, s.Mode, s.Platform.Name, s.Platform.NumQubits,
+		s.Optimize, s.Policy, s.Mapping)
 }
 
 // toLogical translates outcome bitmasks from physical qubit positions

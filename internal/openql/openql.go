@@ -119,6 +119,15 @@ func (k *Kernel) Circuit() *circuit.Circuit {
 	return out
 }
 
+// KernelFromCircuit wraps a copy of an existing flat circuit as a kernel,
+// so gate sequences produced outside the builder API (e.g. parsed from
+// cQASM text) can enter the compiler pipeline.
+func KernelFromCircuit(name string, c *circuit.Circuit) *Kernel {
+	cc := circuit.New(name, c.NumQubits)
+	cc.Append(c)
+	return &Kernel{Name: name, Iterations: 1, c: cc}
+}
+
 // Program is an OpenQL program: an ordered list of kernels over a shared
 // qubit register.
 type Program struct {
@@ -140,6 +149,14 @@ func (p *Program) AddKernel(k *Kernel) *Program {
 			k.Name, k.c.NumQubits, p.NumQubits))
 	}
 	p.Kernels = append(p.Kernels, k)
+	return p
+}
+
+// ProgramFromCircuit lifts a flat circuit into a single-kernel program —
+// the entry point for cQASM text submitted to the service layer.
+func ProgramFromCircuit(name string, c *circuit.Circuit) *Program {
+	p := NewProgram(name, c.NumQubits)
+	p.AddKernel(KernelFromCircuit(name, c))
 	return p
 }
 

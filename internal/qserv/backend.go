@@ -1,0 +1,188 @@
+package qserv
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/anneal"
+	"repro/internal/core"
+	"repro/internal/cqasm"
+	"repro/internal/openql"
+)
+
+// Backend is one execution target behind the service's worker pools. Run
+// must be safe for concurrent use: workers of the same pool call it in
+// parallel.
+type Backend interface {
+	Name() string
+	// Accepts reports whether the backend can run the request's payload.
+	Accepts(r *Request) bool
+	// Run executes the request with the given per-job seed, consulting the
+	// shared compile cache (nil disables caching). It returns the result
+	// and whether the compile step was a cache hit.
+	Run(r *Request, seed int64, cache *CompileCache) (*Result, bool, error)
+}
+
+// StackBackend runs gate jobs through a full core.Stack, caching compiled
+// circuits across jobs.
+type StackBackend struct {
+	Stack *core.Stack
+}
+
+// NewStackBackend wraps a stack as a service backend.
+func NewStackBackend(s *core.Stack) *StackBackend { return &StackBackend{Stack: s} }
+
+// Name returns the stack name ("perfect", "superconducting", …).
+func (b *StackBackend) Name() string { return b.Stack.Name }
+
+// Accepts reports whether the request is a gate job.
+func (b *StackBackend) Accepts(r *Request) bool { return r.CQASM != "" || r.Program != nil }
+
+// Run compiles (or cache-fetches) the program and executes it.
+func (b *StackBackend) Run(r *Request, seed int64, cache *CompileCache) (*Result, bool, error) {
+	p, err := b.program(r)
+	if err != nil {
+		return nil, false, err
+	}
+	var (
+		compiled *openql.Compiled
+		hit      bool
+	)
+	if cache == nil {
+		compiled, err = b.Stack.Compile(p)
+	} else {
+		key := cacheKey(b.Stack.Fingerprint(), canonicalText(p))
+		compiled, hit, err = cache.GetOrCompile(key, func() (*openql.Compiled, error) {
+			return b.Stack.Compile(p)
+		})
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	rep, err := b.Stack.RunCompiled(compiled, p.NumQubits, r.Shots, seed)
+	if err != nil {
+		return nil, hit, err
+	}
+	return &Result{Report: rep}, hit, nil
+}
+
+// canonicalText renders the program's flattened gate stream under a fixed
+// name, so the same circuit submitted as cQASM text or built via the
+// OpenQL API keys to one cache entry.
+func canonicalText(p *openql.Program) string {
+	flat := p.Flatten()
+	flat.Name = "main"
+	return cqasm.PrintCircuit(flat)
+}
+
+// program materialises the request's gate payload as an OpenQL program.
+func (b *StackBackend) program(r *Request) (*openql.Program, error) {
+	if r.Program != nil {
+		return r.Program, nil
+	}
+	prog, err := cqasm.Parse(r.CQASM)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	flat, err := prog.Flatten()
+	if err != nil {
+		return nil, err
+	}
+	name := r.Name
+	if name == "" {
+		name = "cqasm"
+	}
+	return openql.ProgramFromCircuit(name, flat), nil
+}
+
+// AccelBackend adapts an accel.Accelerator — the annealers and classical
+// co-processors of Fig 1 — to the service. build turns a request into an
+// accelerator instance (configured with the per-job seed) plus its
+// offloadable task, returning false when the payload does not fit.
+type AccelBackend struct {
+	Label string
+	build func(r *Request, seed int64) (accel.Accelerator, accel.Task, bool)
+}
+
+// Name returns the backend label.
+func (b *AccelBackend) Name() string { return b.Label }
+
+// Accepts reports whether the accelerator can run the request.
+func (b *AccelBackend) Accepts(r *Request) bool {
+	_, _, ok := b.build(r, 0)
+	return ok
+}
+
+// Run builds the task and offloads it to the wrapped accelerator.
+func (b *AccelBackend) Run(r *Request, seed int64, _ *CompileCache) (*Result, bool, error) {
+	acc, t, ok := b.build(r, seed)
+	if !ok {
+		return nil, false, fmt.Errorf("qserv: backend %q cannot run this payload", b.Label)
+	}
+	out, err := acc.Execute(t)
+	if err != nil {
+		return nil, false, err
+	}
+	switch v := out.(type) {
+	case *anneal.Result:
+		return &Result{Anneal: v}, false, nil
+	case *core.Report:
+		return &Result{Report: v}, false, nil
+	default:
+		return nil, false, fmt.Errorf("qserv: backend %q returned unexpected %T", b.Label, out)
+	}
+}
+
+// NewAnnealBackend wraps the simulated quantum annealer (or the digital
+// annealer when digital is true) as a QUBO backend; each job anneals with
+// its own derived seed.
+func NewAnnealBackend(label string, digital bool, sqa anneal.SQAOptions, da anneal.DigitalAnnealerOptions) *AccelBackend {
+	return &AccelBackend{
+		Label: label,
+		build: func(r *Request, seed int64) (accel.Accelerator, accel.Task, bool) {
+			if r.QUBO == nil {
+				return nil, nil, false
+			}
+			jobSQA, jobDA := sqa, da
+			jobSQA.Seed, jobDA.Seed = seed, seed
+			acc := &accel.AnnealAccelerator{Digital: digital, SQA: jobSQA, DA: jobDA}
+			return acc, accel.AnnealTask{Q: r.QUBO}, true
+		},
+	}
+}
+
+// NewClassicalFallback returns the classical co-processor stand-in: it
+// brute-forces QUBOs of at most maxVars variables exactly — the fallback
+// lane for problems small enough that quantum offload is not worth it.
+func NewClassicalFallback(label string, maxVars int) *AccelBackend {
+	acc := &accel.ClassicalAccelerator{Label: label}
+	return &AccelBackend{
+		Label: label,
+		build: func(r *Request, _ int64) (accel.Accelerator, accel.Task, bool) {
+			if r.QUBO == nil || r.QUBO.N > maxVars {
+				return nil, nil, false
+			}
+			q := r.QUBO
+			return acc, accel.ClassicalTask{
+				Name: "qubo-bruteforce",
+				F: func() (interface{}, error) {
+					bits, energy := q.BruteForce()
+					spins := make([]int, len(bits))
+					for i, b := range bits {
+						spins[i] = 2*b - 1
+					}
+					return &anneal.Result{Spins: spins, Bits: bits, Energy: energy}, nil
+				},
+			}, true
+		},
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ Backend = (*StackBackend)(nil)
+	_ Backend = (*AccelBackend)(nil)
+)

@@ -1,0 +1,142 @@
+package qserv
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/openql"
+)
+
+// cacheKey derives the compiled-circuit cache key from the stack's
+// compiler fingerprint and the program's canonical cQASM text: two
+// submissions with equal keys compile to identical artefacts.
+func cacheKey(stackFingerprint, programCQASM string) string {
+	h := sha256.New()
+	h.Write([]byte(stackFingerprint))
+	h.Write([]byte{0})
+	h.Write([]byte(programCQASM))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CompileCache is a bounded LRU cache of compiled programs shared by all
+// gate backends of a service. Concurrent lookups of the same missing key
+// are deduplicated: one caller compiles, the rest wait for its result.
+// Cached *openql.Compiled values are shared across jobs and must be
+// treated as immutable (core.Stack.RunCompiled only reads them).
+type CompileCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recently used; element values are *cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key      string
+	ready    chan struct{} // closed once compiled/err are set
+	compiled *openql.Compiled
+	err      error
+	elem     *list.Element
+}
+
+// NewCompileCache returns a cache holding at most max entries (minimum 1).
+func NewCompileCache(max int) *CompileCache {
+	if max < 1 {
+		max = 1
+	}
+	return &CompileCache{
+		max:     max,
+		entries: map[string]*cacheEntry{},
+		lru:     list.New(),
+	}
+}
+
+// GetOrCompile returns the compiled program for key, invoking compile at
+// most once per missing key across concurrent callers. The second return
+// reports whether the result was served from cache (a waiter on an
+// in-flight compile counts as a hit: it skipped the compile pipeline).
+func (c *CompileCache) GetOrCompile(key string, compile func() (*openql.Compiled, error)) (*openql.Compiled, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		<-e.ready
+		return e.compiled, true, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.misses++
+	c.entries[key] = e
+	e.elem = c.lru.PushFront(e)
+	for c.lru.Len() > c.max {
+		// Evict the least-recently-used entry. Waiters on an evicted
+		// in-flight entry still hold the entry pointer, so they observe
+		// its result once ready closes; only the map loses the reference.
+		back := c.lru.Back()
+		victim := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		victim.elem = nil
+		delete(c.entries, victim.key)
+	}
+	c.mu.Unlock()
+
+	compiled, err := compile()
+	c.mu.Lock()
+	e.compiled, e.err = compiled, err
+	if err != nil {
+		// Failed compiles are not cached; later submissions retry.
+		if e.elem != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return compiled, false, err
+}
+
+// Clear empties the cache and resets the hit/miss counters.
+func (c *CompileCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Detach live entries from the old list first: an in-flight compile
+	// that later fails must not Remove a stale element from the re-init'd
+	// list (list.Remove would corrupt its length).
+	for _, e := range c.entries {
+		e.elem = nil
+	}
+	c.entries = map[string]*cacheEntry{}
+	c.lru.Init()
+	c.hits, c.misses = 0, 0
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// HitRate returns hits / (hits+misses), 0 when idle.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CompileCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len()}
+}

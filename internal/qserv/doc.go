@@ -1,0 +1,57 @@
+// Package qserv is the concurrent quantum accelerator service: the
+// host-side runtime that turns the synchronous full-stack pipeline into a
+// multi-tenant system. It is the paper's Fig 1 host/accelerator split made
+// operational — the classical host "keeps control over the total system
+// and delegates the execution of certain parts to the available
+// accelerators", and qserv is the piece that does the keeping: admission,
+// queueing, scheduling, dispatch and result aggregation for many
+// concurrent callers over many heterogeneous backends.
+//
+// # Architecture
+//
+//	clients ──HTTP──▶ Service.Submit ──route──┐
+//	                        │                 │
+//	                 bounded queue     bounded queue     bounded queue
+//	                        ▼                 ▼                ▼
+//	                  worker pool       worker pool       worker pool
+//	                 (perfect stack)  (supercond. stack)  (annealer…)
+//	                        │                 │                │
+//	                 compile cache ◀──shared──┘                │
+//	                        │                                  │
+//	                  core.Stack.RunCompiled           accel.Accelerator
+//
+// A Job is submitted as cQASM text or an *openql.Program (gate jobs) or a
+// *qubo.QUBO (annealing jobs), plus a target backend name and a shot
+// count. Submit is non-blocking: it resolves the target backend and
+// enqueues the job into that backend's bounded queue, returning a job ID
+// to poll or await. When the lane is full, Submit fails fast with
+// ErrQueueFull — backpressure instead of unbounded memory growth.
+// Completed jobs stay queryable up to a retention bound, then the oldest
+// are evicted.
+//
+// Queues are per backend, each drained by its own fixed-size worker pool
+// — a gate-based core.Stack (perfect, superconducting, semiconducting),
+// the simulated quantum annealer, or the classical fallback from
+// internal/accel — so a slow realistic-stack job cannot head-of-line
+// block the perfect-qubit lane, mirroring how a heterogeneous system of
+// Fig 1 runs its co-processors independently.
+//
+// Gate backends share one compiled-circuit cache keyed by
+// (program cQASM, stack fingerprint): repeated submissions of the same
+// program to the same target skip decomposition, optimisation, mapping
+// and scheduling entirely and go straight to seeded QX execution
+// (core.Stack.RunCompiled). In-flight compilations are deduplicated, so N
+// simultaneous submissions of one new program compile it once.
+//
+// Execution is deterministic per job: every job gets a derived seed, and
+// all mutable simulator state is created per run (see the concurrency
+// contract in internal/qx), so results are reproducible and the whole
+// service is race-free under `go test -race`.
+//
+// The embedded HTTP API (Service.Handler) exposes POST /submit,
+// GET /jobs/{id} (with optional ?wait=duration long-polling) and
+// GET /stats — queue depth, per-backend throughput and cache hit rate —
+// so operators can see where the time went, the service-level analogue of
+// the host's Amdahl accounting in internal/accel. cmd/qservd wires the
+// default heterogeneous system behind this API.
+package qserv

@@ -1,0 +1,225 @@
+package qserv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/qubo"
+	"repro/internal/qx"
+)
+
+// SubmitRequest is the JSON body of POST /submit. Exactly one of CQASM or
+// QUBO must be set.
+type SubmitRequest struct {
+	Name    string    `json:"name,omitempty"`
+	CQASM   string    `json:"cqasm,omitempty"`
+	QUBO    *QUBOJSON `json:"qubo,omitempty"`
+	Backend string    `json:"backend,omitempty"`
+	Shots   int       `json:"shots,omitempty"`
+	Seed    int64     `json:"seed,omitempty"`
+}
+
+// QUBOJSON is the wire form of a QUBO: n variables plus sparse
+// upper-triangular terms (diagonal terms are the linear coefficients).
+type QUBOJSON struct {
+	N     int        `json:"n"`
+	Terms []QUBOTerm `json:"terms"`
+}
+
+// QUBOTerm is one coefficient of the quadratic form.
+type QUBOTerm struct {
+	I int     `json:"i"`
+	J int     `json:"j"`
+	V float64 `json:"v"`
+}
+
+func (q *QUBOJSON) toQUBO() (*qubo.QUBO, error) {
+	if q.N <= 0 {
+		return nil, fmt.Errorf("qserv: qubo.n must be positive, got %d", q.N)
+	}
+	out := qubo.New(q.N)
+	for _, t := range q.Terms {
+		if t.I < 0 || t.I >= q.N || t.J < 0 || t.J >= q.N {
+			return nil, fmt.Errorf("qserv: qubo term (%d,%d) out of range for n=%d", t.I, t.J, q.N)
+		}
+		out.Add(t.I, t.J, t.V)
+	}
+	return out, nil
+}
+
+// SubmitResponse is the JSON body returned by POST /submit.
+type SubmitResponse struct {
+	ID      string `json:"id"`
+	Status  Status `json:"status"`
+	Backend string `json:"backend"`
+}
+
+// JobView is the JSON rendering of a job for GET /jobs/{id}.
+type JobView struct {
+	ID          string      `json:"id"`
+	Name        string      `json:"name,omitempty"`
+	Status      Status      `json:"status"`
+	Backend     string      `json:"backend"`
+	CacheHit    bool        `json:"cache_hit"`
+	Error       string      `json:"error,omitempty"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	StartedAt   *time.Time  `json:"started_at,omitempty"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+	ElapsedMs   float64     `json:"elapsed_ms,omitempty"`
+	Result      *ResultView `json:"result,omitempty"`
+}
+
+// ResultView is the JSON rendering of a job result.
+type ResultView struct {
+	// Gate jobs: measurement statistics plus the modelled wall time.
+	Counts map[string]int `json:"counts,omitempty"`
+	Shots  int            `json:"shots,omitempty"`
+	WallNs int            `json:"wall_ns,omitempty"`
+	Swaps  int            `json:"added_swaps,omitempty"`
+	// Annealing jobs: solution bits and energy.
+	Bits   []int    `json:"bits,omitempty"`
+	Energy *float64 `json:"energy,omitempty"`
+}
+
+func viewJob(j *Job) JobView {
+	submitted, started, finished := j.Times()
+	v := JobView{
+		ID:          j.ID,
+		Name:        j.Req.Name,
+		Status:      j.Status(),
+		Backend:     j.Backend(),
+		CacheHit:    j.CacheHit(),
+		SubmittedAt: submitted,
+	}
+	if !started.IsZero() {
+		v.StartedAt = &started
+	}
+	if !finished.IsZero() {
+		v.FinishedAt = &finished
+		v.ElapsedMs = float64(finished.Sub(submitted).Nanoseconds()) / 1e6
+	}
+	if err := j.Err(); err != nil {
+		v.Error = err.Error()
+	}
+	if res := j.Result(); res != nil {
+		rv := &ResultView{}
+		if res.Report != nil && res.Report.Result != nil {
+			r := res.Report.Result
+			rv.Counts = make(map[string]int, len(r.Counts))
+			for idx, c := range r.Counts {
+				rv.Counts[qx.BitString(idx, r.NumQubits)] = c
+			}
+			rv.Shots = r.Shots
+			rv.WallNs = res.Report.WallNs
+			if res.Report.Mapping != nil {
+				rv.Swaps = res.Report.Mapping.AddedSwaps
+			}
+		}
+		if res.Anneal != nil {
+			rv.Bits = res.Anneal.Bits
+			e := res.Anneal.Energy
+			rv.Energy = &e
+		}
+		v.Result = rv
+	}
+	return v
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /submit        submit a job (202, or 503 when the queue is full)
+//	GET  /jobs/{id}     job status and result; ?wait=2s long-polls
+//	GET  /stats         queue depth, per-backend throughput, cache hit rate
+//	GET  /healthz       liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /submit", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sr SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return
+	}
+	req := Request{
+		Name:    sr.Name,
+		CQASM:   sr.CQASM,
+		Backend: sr.Backend,
+		Shots:   sr.Shots,
+		Seed:    sr.Seed,
+	}
+	if sr.QUBO != nil {
+		q, err := sr.QUBO.toQUBO()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.QUBO = q
+	}
+	job, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID:      job.ID,
+		Status:  job.Status(),
+		Backend: job.Backend(),
+	})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration %q", waitStr))
+			return
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(d):
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, viewJob(job))
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

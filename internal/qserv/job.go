@@ -1,0 +1,180 @@
+package qserv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/core"
+	"repro/internal/openql"
+	"repro/internal/qubo"
+)
+
+// Status is the lifecycle state of a job.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Request describes one unit of work submitted to the service. Exactly one
+// payload field — CQASM, Program or QUBO — must be set.
+type Request struct {
+	// Name labels the job in views and logs; optional.
+	Name string
+	// CQASM is gate-job source text, parsed and lifted into an OpenQL
+	// program on the worker.
+	CQASM string
+	// Program is a gate job submitted programmatically.
+	Program *openql.Program
+	// QUBO is an annealing job.
+	QUBO *qubo.QUBO
+	// Backend names the target backend; empty routes to the first backend
+	// that accepts the payload.
+	Backend string
+	// Shots is the number of executions aggregated into the result
+	// (gate jobs); defaults to the service's DefaultShots.
+	Shots int
+	// Seed pins the job's random seed; 0 derives a fresh deterministic
+	// seed per job.
+	Seed int64
+}
+
+// validate checks that exactly one payload is present.
+func (r *Request) validate() error {
+	n := 0
+	if r.CQASM != "" {
+		n++
+	}
+	if r.Program != nil {
+		n++
+	}
+	if r.QUBO != nil {
+		n++
+	}
+	if n != 1 {
+		return fmt.Errorf("qserv: request must carry exactly one of cqasm, program or qubo (got %d)", n)
+	}
+	return nil
+}
+
+// Result is the union of backend outputs: gate jobs produce a full-stack
+// Report, annealing jobs (and the classical QUBO fallback) an anneal
+// Result.
+type Result struct {
+	Report *core.Report
+	Anneal *anneal.Result
+}
+
+// Job is one tracked unit of work. All accessors are safe for concurrent
+// use; the service mutates the job from exactly one worker at a time.
+type Job struct {
+	ID  string
+	Req Request
+
+	pool *backendPool // resolved at submit time
+	seed int64
+
+	mu        sync.Mutex
+	status    Status
+	err       error
+	result    *Result
+	cacheHit  bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+func newJob(id string, req Request, pool *backendPool, seed int64) *Job {
+	return &Job{
+		ID:        id,
+		Req:       req,
+		pool:      pool,
+		seed:      seed,
+		status:    StatusQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Err returns the failure cause, nil unless Status is StatusFailed.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the job's output, nil until Status is StatusDone.
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// CacheHit reports whether the job's compile step was served from the
+// compiled-circuit cache.
+func (j *Job) CacheHit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cacheHit
+}
+
+// Backend returns the name of the backend the job was routed to.
+func (j *Job) Backend() string { return j.pool.b.Name() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes or ctx is cancelled, returning the
+// job's error (nil on success) or the context's error.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Times returns the submit/start/finish instants (zero until reached).
+func (j *Job) Times() (submitted, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted, j.started, j.finished
+}
+
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *Result, cacheHit bool, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.cacheHit = cacheHit
+	if err != nil {
+		j.status = StatusFailed
+		j.err = err
+	} else {
+		j.status = StatusDone
+		j.result = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}

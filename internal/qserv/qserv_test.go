@@ -1,0 +1,516 @@
+package qserv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/core"
+	"repro/internal/openql"
+	"repro/internal/qubo"
+)
+
+const bellCQASM = `version 1.0
+qubits 2
+.bell
+h q[0]
+cnot q[0], q[1]
+measure q[0]
+measure q[1]
+`
+
+func bellProgram(name string) *openql.Program {
+	p := openql.NewProgram(name, 2)
+	k := openql.NewKernel("entangle", 2)
+	k.H(0).CNOT(0, 1).Measure(0).Measure(1)
+	p.AddKernel(k)
+	return p
+}
+
+// twoBackendService returns a started service over the perfect and
+// semiconducting stacks — one direct-QX lane and one
+// eQASM/micro-architecture lane.
+func twoBackendService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	s.AddBackend(NewStackBackend(core.NewPerfect(5, 7)), 3)
+	s.AddBackend(NewStackBackend(core.NewSemiconducting(7)), 3)
+	s.Start()
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := twoBackendService(t, Config{})
+	if _, err := s.Submit(Request{}); err == nil {
+		t.Error("empty request accepted")
+	}
+	if _, err := s.Submit(Request{CQASM: bellCQASM, QUBO: qubo.New(2)}); err == nil {
+		t.Error("two payloads accepted")
+	}
+	if _, err := s.Submit(Request{CQASM: bellCQASM, Backend: "nope"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, err := s.Submit(Request{QUBO: qubo.New(2)}); err == nil {
+		t.Error("unroutable payload accepted")
+	}
+}
+
+// TestEndToEndConcurrent is the service's end-to-end contract: N jobs
+// submitted concurrently across two backends, all awaited, then the same
+// programs resubmitted with a nonzero cache hit rate. Run with -race.
+func TestEndToEndConcurrent(t *testing.T) {
+	s := twoBackendService(t, Config{QueueSize: 128, Seed: 11})
+
+	const perBackend = 6
+	submit := func() []*Job {
+		var (
+			mu   sync.Mutex
+			jobs []*Job
+			wg   sync.WaitGroup
+		)
+		for i := 0; i < perBackend; i++ {
+			for _, backend := range []string{"perfect", "semiconducting"} {
+				i, backend := i, backend
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Three distinct programs per backend, so each round
+					// compiles 3 programs per backend and repeats them.
+					j, err := s.Submit(Request{
+						Name:    fmt.Sprintf("bell-%s-%d", backend, i%3),
+						Program: bellProgram(fmt.Sprintf("bell%d", i%3)),
+						Backend: backend,
+						Shots:   64,
+					})
+					if err != nil {
+						t.Errorf("submit: %v", err)
+						return
+					}
+					mu.Lock()
+					jobs = append(jobs, j)
+					mu.Unlock()
+				}()
+			}
+		}
+		wg.Wait()
+		return jobs
+	}
+
+	await := func(jobs []*Job) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, j := range jobs {
+			if err := j.Wait(ctx); err != nil {
+				t.Fatalf("job %s on %s failed: %v", j.ID, j.Backend(), err)
+			}
+			res := j.Result()
+			if res == nil || res.Report == nil || res.Report.Result == nil {
+				t.Fatalf("job %s: missing result", j.ID)
+			}
+			total := 0
+			for _, c := range res.Report.Result.Counts {
+				total += c
+			}
+			if total != 64 {
+				t.Errorf("job %s: %d shots aggregated, want 64", j.ID, total)
+			}
+		}
+	}
+
+	await(submit())
+	first := s.Stats()
+	if first.JobsDone != 2*perBackend {
+		t.Fatalf("round 1: %d jobs done, want %d", first.JobsDone, 2*perBackend)
+	}
+
+	// Resubmission of the same programs must hit the compile cache.
+	await(submit())
+	st := s.Stats()
+	if st.JobsDone != 4*perBackend {
+		t.Fatalf("round 2: %d jobs done, want %d", st.JobsDone, 4*perBackend)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatalf("no cache hits on resubmission: %+v", st.Cache)
+	}
+	if st.CacheHitRate <= 0 {
+		t.Errorf("cache hit rate %v, want > 0", st.CacheHitRate)
+	}
+	// 3 distinct programs per backend → at most 6 cold compiles total.
+	if st.Cache.Misses > 6 {
+		t.Errorf("%d cold compiles, want <= 6 (singleflight dedup)", st.Cache.Misses)
+	}
+	for _, b := range st.Backends {
+		if b.JobsDone != 2*perBackend {
+			t.Errorf("backend %s: %d jobs, want %d", b.Name, b.JobsDone, 2*perBackend)
+		}
+		if b.JobsPerSec <= 0 {
+			t.Errorf("backend %s: throughput not reported", b.Name)
+		}
+	}
+}
+
+func TestCacheSingleflightAndLRU(t *testing.T) {
+	c := NewCompileCache(2)
+	var compiles atomic.Int32
+	compile := func() (*openql.Compiled, error) {
+		compiles.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return &openql.Compiled{}, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.GetOrCompile("k1", compile); err != nil {
+				t.Errorf("GetOrCompile: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := compiles.Load(); n != 1 {
+		t.Errorf("%d compiles for one key under concurrency, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 7 {
+		t.Errorf("stats %+v, want 1 miss / 7 hits", st)
+	}
+
+	// LRU eviction: k1, k2 cached (max 2); touching k1 then adding k3
+	// must evict k2.
+	c.GetOrCompile("k2", compile)
+	c.GetOrCompile("k1", compile)
+	c.GetOrCompile("k3", compile)
+	before := compiles.Load()
+	c.GetOrCompile("k1", compile) // still cached
+	if compiles.Load() != before {
+		t.Error("k1 evicted despite recent use")
+	}
+	c.GetOrCompile("k2", compile) // evicted → recompiles
+	if compiles.Load() != before+1 {
+		t.Error("k2 not evicted as LRU")
+	}
+
+	// Failed compiles are not cached.
+	c.Clear()
+	fails := 0
+	boom := func() (*openql.Compiled, error) { fails++; return nil, fmt.Errorf("boom") }
+	c.GetOrCompile("bad", boom)
+	c.GetOrCompile("bad", boom)
+	if fails != 2 {
+		t.Errorf("failed compile cached (%d invocations, want 2)", fails)
+	}
+}
+
+func TestAnnealAndClassicalBackends(t *testing.T) {
+	s := New(Config{Seed: 3})
+	s.AddBackend(NewAnnealBackend("annealer", false, anneal.SQAOptions{Sweeps: 200}, anneal.DigitalAnnealerOptions{}), 2)
+	s.AddBackend(NewClassicalFallback("classical", 16), 1)
+	s.Start()
+	defer s.Stop()
+
+	// MAXCUT-style toy QUBO with known minimum: x0=1, x1=1, energy -2.
+	q := qubo.New(3)
+	q.Set(0, 0, -1)
+	q.Set(1, 1, -1)
+	q.Set(0, 2, 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for _, backend := range []string{"annealer", "classical"} {
+		j, err := s.Submit(Request{QUBO: q, Backend: backend})
+		if err != nil {
+			t.Fatalf("%s submit: %v", backend, err)
+		}
+		if err := j.Wait(ctx); err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		res := j.Result()
+		if res == nil || res.Anneal == nil {
+			t.Fatalf("%s: missing anneal result", backend)
+		}
+		if res.Anneal.Energy != -2 {
+			t.Errorf("%s: energy %v, want -2", backend, res.Anneal.Energy)
+		}
+	}
+
+	// Default routing sends a QUBO to the first accepting backend.
+	j, err := s.Submit(Request{QUBO: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Backend() != "annealer" {
+		t.Errorf("routed to %s, want annealer", j.Backend())
+	}
+	j.Wait(ctx)
+}
+
+// blockingBackend runs jobs only when released — for backpressure tests.
+type blockingBackend struct {
+	release chan struct{}
+}
+
+func (b *blockingBackend) Name() string            { return "blocker" }
+func (b *blockingBackend) Accepts(r *Request) bool { return true }
+func (b *blockingBackend) Run(r *Request, seed int64, cache *CompileCache) (*Result, bool, error) {
+	<-b.release
+	return &Result{}, false, nil
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	bb := &blockingBackend{release: make(chan struct{})}
+	s := New(Config{QueueSize: 2})
+	s.AddBackend(bb, 1)
+	s.Start()
+	defer s.Stop()
+	defer close(bb.release)
+
+	var full bool
+	var jobs []*Job
+	// Worker lane (1 running + 1 buffered) plus queue (2) saturate well
+	// within 10 submissions.
+	for i := 0; i < 10; i++ {
+		j, err := s.Submit(Request{CQASM: bellCQASM})
+		if err == ErrQueueFull {
+			full = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+		// Give the dispatcher a moment to drain the queue into the lane.
+		time.Sleep(time.Millisecond)
+	}
+	if !full {
+		t.Fatal("queue never reported full")
+	}
+	if st := s.Stats(); st.QueueDepth == 0 {
+		t.Error("stats report empty queue while saturated")
+	}
+	for range jobs {
+		bb.release <- struct{}{}
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	s := twoBackendService(t, Config{Seed: 5})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	submit := func(body string) SubmitResponse {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/submit", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+		var sr SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	body, _ := json.Marshal(SubmitRequest{Name: "bell", CQASM: bellCQASM, Backend: "perfect", Shots: 256})
+	sr := submit(string(body))
+	if sr.ID == "" || sr.Backend != "perfect" {
+		t.Fatalf("bad submit response %+v", sr)
+	}
+
+	// Long-poll the job to completion.
+	resp, err := http.Get(srv.URL + "/jobs/" + sr.ID + "?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jv JobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jv.Status != StatusDone {
+		t.Fatalf("job not done after wait: %+v", jv)
+	}
+	total := 0
+	for bits, c := range jv.Result.Counts {
+		if bits != "00" && bits != "11" {
+			t.Errorf("non-Bell outcome %q on perfect qubits", bits)
+		}
+		total += c
+	}
+	if total != 256 {
+		t.Errorf("counts sum %d, want 256", total)
+	}
+
+	// Resubmit: the compile must be served from cache.
+	sr2 := submit(string(body))
+	resp, err = http.Get(srv.URL + "/jobs/" + sr2.ID + "?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv = JobView{}
+	json.NewDecoder(resp.Body).Decode(&jv)
+	resp.Body.Close()
+	if !jv.CacheHit {
+		t.Error("resubmission did not hit the compile cache")
+	}
+
+	// Stats report the activity.
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.JobsSubmitted < 2 || st.Cache.Hits == 0 {
+		t.Errorf("stats missing activity: %+v", st)
+	}
+
+	// Error paths.
+	if resp, _ := http.Get(srv.URL + "/jobs/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job → %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := http.Post(srv.URL+"/submit", "application/json", bytes.NewBufferString("{}")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty submit → %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := http.Post(srv.URL+"/submit", "application/json", bytes.NewBufferString(`{"qubo":{"n":2,"terms":[{"i":5,"j":0,"v":1}]}}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range qubo term → %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCQASMSubmissionSharesCacheWithProgram(t *testing.T) {
+	// The same logical circuit submitted as text and as a Program must
+	// land on one cache entry (keying on the canonical render).
+	s := twoBackendService(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	j1, err := s.Submit(Request{CQASM: bellCQASM, Backend: "perfect", Shots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(Request{Program: bellProgram("bell"), Backend: "perfect", Shots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !j2.CacheHit() {
+		t.Error("builder-API resubmission of the text-submitted circuit missed the cache")
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	// Same request + same pinned seed → identical counts.
+	run := func() map[int]int {
+		s := twoBackendService(t, Config{})
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		j, err := s.Submit(Request{Program: bellProgram("b"), Backend: "perfect", Shots: 128, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return j.Result().Report.Result.Counts
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("count maps differ: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("seeded runs diverge at %d: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestCompletedJobRetention(t *testing.T) {
+	s := New(Config{RetainJobs: 3, Seed: 2})
+	s.AddBackend(NewClassicalFallback("classical", 8), 1)
+	s.Start()
+	defer s.Stop()
+
+	q := qubo.New(2)
+	q.Set(0, 0, -1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	var ids []string
+	for i := 0; i < 6; i++ {
+		j, err := s.Submit(Request{QUBO: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if _, ok := s.Job(ids[0]); ok {
+		t.Error("oldest completed job not evicted beyond RetainJobs")
+	}
+	if _, ok := s.Job(ids[5]); !ok {
+		t.Error("newest completed job evicted")
+	}
+}
+
+func TestNoHeadOfLineBlocking(t *testing.T) {
+	// A saturated backend lane must not prevent submission to, or
+	// execution on, another backend.
+	bb := &blockingBackend{release: make(chan struct{})}
+	s := New(Config{QueueSize: 1, Seed: 2})
+	s.AddBackend(bb, 1)
+	s.AddBackend(NewClassicalFallback("classical", 8), 1)
+	s.Start()
+	defer s.Stop()
+	defer close(bb.release)
+
+	// Saturate the blocker lane: 1 running + 1 queued.
+	var blocked []*Job
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit(Request{CQASM: bellCQASM, Backend: "blocker"})
+		if err == ErrQueueFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked = append(blocked, j)
+	}
+
+	// The classical lane still accepts and completes work.
+	q := qubo.New(2)
+	q.Set(0, 0, -1)
+	j, err := s.Submit(Request{QUBO: q, Backend: "classical"})
+	if err != nil {
+		t.Fatalf("classical lane rejected while blocker saturated: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("classical job stalled behind saturated blocker lane: %v", err)
+	}
+	for range blocked {
+		bb.release <- struct{}{}
+	}
+}

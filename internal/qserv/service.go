@@ -1,0 +1,363 @@
+package qserv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull is returned by Submit when the bounded job queue is at
+// capacity — callers should back off and retry (HTTP maps it to 503).
+var ErrQueueFull = errors.New("qserv: job queue full")
+
+// ErrStopped is returned by Submit after Stop.
+var ErrStopped = errors.New("qserv: service stopped")
+
+// Config sizes the service. Zero values select the defaults noted per
+// field.
+type Config struct {
+	// QueueSize bounds each backend's job queue (default 64). Queues are
+	// per backend so a saturated lane cannot starve the others.
+	QueueSize int
+	// DefaultWorkers is the pool size used when AddBackend is called with
+	// workers <= 0 (default 2).
+	DefaultWorkers int
+	// DefaultShots is applied to gate jobs submitted with Shots <= 0
+	// (default 1024).
+	DefaultShots int
+	// CacheSize bounds the compiled-circuit cache; negative disables
+	// caching (default 256 entries).
+	CacheSize int
+	// Seed is the base of the per-job seed derivation (default 1).
+	Seed int64
+	// RetainJobs bounds how many completed jobs stay queryable; the
+	// oldest finished jobs are evicted beyond it (default 4096; negative
+	// retains everything — for tests and short-lived services).
+	RetainJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 4096
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = 2
+	}
+	if c.DefaultShots <= 0 {
+		c.DefaultShots = 1024
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// backendPool couples a backend with its worker lane and counters.
+type backendPool struct {
+	b       Backend
+	workers int
+	ch      chan *Job
+
+	jobsDone   atomic.Uint64
+	jobsFailed atomic.Uint64
+	busyNs     atomic.Int64
+	cacheHits  atomic.Uint64
+}
+
+// Service is the concurrent accelerator service: bounded per-backend job
+// queues feeding worker pools, with a shared compiled-circuit cache.
+type Service struct {
+	cfg   Config
+	cache *CompileCache
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // completed job IDs, oldest first, for retention
+	pools    []*backendPool
+	byName   map[string]*backendPool
+	started  bool
+	stopped  bool
+
+	wg        sync.WaitGroup
+	seq       atomic.Uint64
+	submitted atomic.Uint64
+	startedAt time.Time
+}
+
+// New returns an unstarted service; register backends with AddBackend,
+// then call Start.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:    cfg,
+		jobs:   map[string]*Job{},
+		byName: map[string]*backendPool{},
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = NewCompileCache(cfg.CacheSize)
+	}
+	return s
+}
+
+// Cache exposes the shared compile cache (nil when disabled).
+func (s *Service) Cache() *CompileCache { return s.cache }
+
+// AddBackend registers a backend with its worker-pool size (<= 0 selects
+// Config.DefaultWorkers). It must be called before Start.
+func (s *Service) AddBackend(b Backend, workers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("qserv: AddBackend after Start")
+	}
+	if _, dup := s.byName[b.Name()]; dup {
+		panic(fmt.Sprintf("qserv: duplicate backend %q", b.Name()))
+	}
+	if workers <= 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	// The channel is the backend's bounded job queue: workers pull from
+	// it directly, Submit fails fast once it fills.
+	p := &backendPool{b: b, workers: workers, ch: make(chan *Job, s.cfg.QueueSize)}
+	s.pools = append(s.pools, p)
+	s.byName[b.Name()] = p
+}
+
+// Start launches every worker pool.
+func (s *Service) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("qserv: Start called twice")
+	}
+	if len(s.pools) == 0 {
+		panic("qserv: Start with no backends")
+	}
+	s.started = true
+	s.startedAt = time.Now()
+	for _, p := range s.pools {
+		for i := 0; i < p.workers; i++ {
+			s.wg.Add(1)
+			go s.worker(p)
+		}
+	}
+}
+
+// Stop rejects further submissions, drains queued jobs to completion and
+// waits for all workers to exit.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if !s.started || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	for _, p := range s.pools {
+		close(p.ch)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker executes jobs from one pool's lane.
+func (s *Service) worker(p *backendPool) {
+	defer s.wg.Done()
+	for job := range p.ch {
+		job.markRunning()
+		start := time.Now()
+		res, hit, err := p.b.Run(&job.Req, job.seed, s.cache)
+		p.busyNs.Add(time.Since(start).Nanoseconds())
+		if hit {
+			p.cacheHits.Add(1)
+		}
+		if err != nil {
+			p.jobsFailed.Add(1)
+		} else {
+			p.jobsDone.Add(1)
+		}
+		job.finish(res, hit, err)
+		s.retire(job)
+	}
+}
+
+// retire records a finished job for retention and evicts the oldest
+// completed jobs beyond Config.RetainJobs (queued and running jobs are
+// never evicted).
+func (s *Service) retire(job *Job) {
+	if s.cfg.RetainJobs < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, job.ID)
+	for len(s.finished) > s.cfg.RetainJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// Submit validates, routes and enqueues a request, returning the tracked
+// job. It never blocks: a full queue fails fast with ErrQueueFull.
+func (s *Service) Submit(req Request) (*Job, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if req.Shots <= 0 {
+		req.Shots = s.cfg.DefaultShots
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		return nil, errors.New("qserv: service not started")
+	}
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	pool, err := s.route(&req)
+	if err != nil {
+		return nil, err
+	}
+	n := s.seq.Add(1)
+	seed := req.Seed
+	if seed == 0 {
+		// Derive a distinct deterministic seed per job from the base seed
+		// and the job sequence number (odd multiplier keeps them unique).
+		seed = s.cfg.Seed + int64(n)*2654435761
+	}
+	job := newJob(fmt.Sprintf("job-%d", n), req, pool, seed)
+	// Enqueue straight into the backend's bounded lane: no shared
+	// dispatcher, so one saturated backend cannot head-of-line block the
+	// others.
+	select {
+	case pool.ch <- job:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.submitted.Add(1)
+	return job, nil
+}
+
+// route resolves the request's target pool: by name when given, else the
+// first registered backend that accepts the payload.
+func (s *Service) route(req *Request) (*backendPool, error) {
+	if req.Backend != "" {
+		pool, ok := s.byName[req.Backend]
+		if !ok {
+			return nil, fmt.Errorf("qserv: unknown backend %q", req.Backend)
+		}
+		if !pool.b.Accepts(req) {
+			return nil, fmt.Errorf("qserv: backend %q does not accept this payload", req.Backend)
+		}
+		return pool, nil
+	}
+	for _, pool := range s.pools {
+		if pool.b.Accepts(req) {
+			return pool, nil
+		}
+	}
+	return nil, errors.New("qserv: no backend accepts this payload")
+}
+
+// Job looks up a job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Await blocks until the job with the given ID completes or ctx is
+// cancelled, returning the job.
+func (s *Service) Await(ctx context.Context, id string) (*Job, error) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, fmt.Errorf("qserv: unknown job %q", id)
+	}
+	if err := j.Wait(ctx); err != nil && j.Status() != StatusFailed {
+		return j, err
+	}
+	return j, nil
+}
+
+// BackendStats is one backend's slice of the /stats report.
+type BackendStats struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	JobsDone   uint64  `json:"jobs_done"`
+	JobsFailed uint64  `json:"jobs_failed"`
+	CacheHits  uint64  `json:"cache_hits"`
+	BusyMs     float64 `json:"busy_ms"`
+	// JobsPerSec is completed jobs divided by service uptime — the
+	// per-backend throughput figure.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// Stats is the service-wide instrumentation snapshot.
+type Stats struct {
+	UptimeSec     float64        `json:"uptime_sec"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCap      int            `json:"queue_cap"`
+	JobsSubmitted uint64         `json:"jobs_submitted"`
+	JobsDone      uint64         `json:"jobs_done"`
+	JobsFailed    uint64         `json:"jobs_failed"`
+	CacheHitRate  float64        `json:"cache_hit_rate"`
+	Cache         CacheStats     `json:"cache"`
+	Backends      []BackendStats `json:"backends"`
+}
+
+// Stats returns a point-in-time snapshot of queue depth, per-backend
+// throughput and cache effectiveness.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	pools := make([]*backendPool, len(s.pools))
+	copy(pools, s.pools)
+	startedAt := s.startedAt
+	s.mu.Unlock()
+
+	uptime := time.Since(startedAt)
+	if startedAt.IsZero() {
+		uptime = 0
+	}
+	st := Stats{
+		UptimeSec:     uptime.Seconds(),
+		JobsSubmitted: s.submitted.Load(),
+	}
+	for _, p := range pools {
+		st.QueueDepth += len(p.ch)
+		st.QueueCap += cap(p.ch)
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+		st.CacheHitRate = st.Cache.HitRate()
+	}
+	for _, p := range pools {
+		done, failed := p.jobsDone.Load(), p.jobsFailed.Load()
+		st.JobsDone += done
+		st.JobsFailed += failed
+		bs := BackendStats{
+			Name:       p.b.Name(),
+			Workers:    p.workers,
+			QueueDepth: len(p.ch),
+			JobsDone:   done,
+			JobsFailed: failed,
+			CacheHits:  p.cacheHits.Load(),
+			BusyMs:     float64(p.busyNs.Load()) / 1e6,
+		}
+		if sec := uptime.Seconds(); sec > 0 {
+			bs.JobsPerSec = float64(done) / sec
+		}
+		st.Backends = append(st.Backends, bs)
+	}
+	return st
+}

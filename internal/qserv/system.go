@@ -1,0 +1,22 @@
+package qserv
+
+import (
+	"repro/internal/anneal"
+	"repro/internal/core"
+)
+
+// DefaultService wires the paper's Fig 1 heterogeneous system behind the
+// service: perfect, superconducting and semiconducting gate stacks, the
+// simulated quantum annealer, and the classical QUBO fallback. qubits
+// sizes the perfect stack; workers sizes every pool (<= 0 selects
+// Config.DefaultWorkers). The service is returned unstarted.
+func DefaultService(cfg Config, qubits int, workers int) *Service {
+	s := New(cfg)
+	seed := cfg.withDefaults().Seed
+	s.AddBackend(NewStackBackend(core.NewPerfect(qubits, seed)), workers)
+	s.AddBackend(NewStackBackend(core.NewSuperconducting(seed)), workers)
+	s.AddBackend(NewStackBackend(core.NewSemiconducting(seed)), workers)
+	s.AddBackend(NewAnnealBackend("annealer", false, anneal.SQAOptions{}, anneal.DigitalAnnealerOptions{}), workers)
+	s.AddBackend(NewClassicalFallback("classical", 20), workers)
+	return s
+}

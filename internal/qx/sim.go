@@ -11,6 +11,11 @@ import (
 // Simulator executes circuits on perfect or realistic qubits. It mirrors
 // the QX engine of the paper: the micro-architecture sends instructions,
 // the simulator executes them, measures qubit states and returns results.
+//
+// A Simulator is not safe for concurrent use (it owns the PRNG and the
+// fusion scratch table); create one per goroutine. Input circuits are
+// never mutated and may be shared across simulators. See the package
+// comment for the full concurrency contract.
 type Simulator struct {
 	// Noise selects realistic-qubit execution; nil means perfect qubits.
 	Noise *NoiseModel

@@ -2,6 +2,7 @@ package qx
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -248,4 +249,46 @@ func TestNoiseModelHelpers(t *testing.T) {
 	if l := (&NoiseModel{}).dephasingLambda(); l != 0 {
 		t.Errorf("lambda without T2 = %v", l)
 	}
+}
+
+// TestConcurrentShotExecution enforces the package's concurrency
+// contract under -race: one Simulator per goroutine, input circuits
+// shared read-only across all of them. Both the perfect fast path (with
+// fusion, which exercises the per-simulator scratch table) and the noisy
+// per-shot path are driven in parallel.
+func TestConcurrentShotExecution(t *testing.T) {
+	shared := circuit.New("shared", 3)
+	shared.H(0).CNOT(0, 1).RX(2, 0.3).RZ(2, 0.7).CNOT(1, 2).MeasureAll()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sim *Simulator
+			if g%2 == 0 {
+				sim = New(int64(g))
+				sim.EnableFusion = true
+			} else {
+				sim = NewNoisy(int64(g), Depolarizing(1e-3))
+			}
+			for iter := 0; iter < 20; iter++ {
+				res, err := sim.Run(shared, 50)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				total := 0
+				for _, c := range res.Counts {
+					total += c
+				}
+				if total != 50 {
+					t.Errorf("goroutine %d: %d shots aggregated, want 50", g, total)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
