@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -554,6 +555,59 @@ func BenchmarkE16_ShorFactoring(b *testing.B) {
 	report("E16 Shor factoring", fmt.Sprintf(
 		"N=15 → %d × %d (base a=%d, order %d, %d attempts; 10-qubit register)\n",
 		res.Factors[0], res.Factors[1], res.A, res.Order, res.Attempts))
+}
+
+// E18 — the engine layer (ISSUE 2): multi-shot sampling on a 16-qubit
+// circuit across the execution engines. "serial" is the reference engine
+// as a single-threaded baseline (per-shot linear-scan sampling, per-gate
+// matrix materialisation); "parallel" is the optimized engine with
+// parallel shot batches across the machine's cores (specialized kernels,
+// precompiled op table, cumulative binary-search sampling). The recorded
+// serial/parallel speedup must be ≥ 2x.
+func BenchmarkEngineParallelVsSerial(b *testing.B) {
+	const n = 16
+	const shots = 2048
+	rng := rand.New(rand.NewSource(18))
+	c := circuit.GHZ(n)
+	for q := 0; q < n; q++ {
+		c.RY(q, rng.Float64())
+	}
+
+	var serial, parallel time.Duration
+	b.Run("reference-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := qx.NewWithEngine(18, qx.Reference())
+			if _, err := sim.Run(c, shots); err != nil {
+				b.Fatal(err)
+			}
+		}
+		serial = b.Elapsed() / time.Duration(b.N)
+	})
+	b.Run("optimized-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := qx.NewWithEngine(18, qx.Optimized())
+			if _, err := sim.Run(c, shots); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimized-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := qx.NewWithEngine(18, qx.Optimized())
+			if _, err := sim.RunParallel(c, shots, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		parallel = b.Elapsed() / time.Duration(b.N)
+	})
+	if serial > 0 && parallel > 0 {
+		speedup := float64(serial) / float64(parallel)
+		b.ReportMetric(speedup, "serial/parallel")
+		report("E18 engine layer (16-qubit multi-shot sampling)", fmt.Sprintf(
+			"reference serial   %10.2f ms/run\noptimized parallel %10.2f ms/run (%d cores)\nspeedup            %10.1fx\n",
+			float64(serial.Nanoseconds())/1e6, float64(parallel.Nanoseconds())/1e6,
+			runtime.GOMAXPROCS(0), speedup))
+	}
 }
 
 // E17 — the qserv service layer (ISSUE 1): cold compile versus the

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	qservd [-addr :8080] [-qubits 10] [-workers 2] [-queue 256] [-cache 512] [-shots 1024] [-seed 1]
+//	qservd [-addr :8080] [-qubits 10] [-workers 2] [-queue 256] [-cache 512] [-shots 1024] [-seed 1] [-engine optimized]
 //
 // API:
 //
@@ -24,10 +24,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/qserv"
+	"repro/internal/qx"
 )
 
 func main() {
@@ -38,7 +40,12 @@ func main() {
 	cache := flag.Int("cache", 512, "compiled-circuit cache entries (negative disables)")
 	shots := flag.Int("shots", 1024, "default shots per gate job")
 	seed := flag.Int64("seed", 1, "base seed for per-job seed derivation")
+	engine := flag.String("engine", qx.DefaultEngine,
+		"qx execution engine for the gate stacks: "+strings.Join(qx.EngineNames(), ", "))
 	flag.Parse()
+	if _, err := qx.EngineByName(*engine); err != nil {
+		log.Fatalf("qservd: %v", err)
+	}
 
 	svc := qserv.DefaultService(qserv.Config{
 		QueueSize:      *queue,
@@ -46,12 +53,13 @@ func main() {
 		DefaultShots:   *shots,
 		CacheSize:      *cache,
 		Seed:           *seed,
+		Engine:         *engine,
 	}, *qubits, *workers)
 	svc.Start()
 
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	go func() {
-		log.Printf("qservd: serving on %s (backends: perfect, superconducting, semiconducting, annealer, classical)", *addr)
+		log.Printf("qservd: serving on %s (engine %s; backends: perfect, superconducting, semiconducting, annealer, classical)", *addr, *engine)
 		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("qservd: %v", err)
 		}

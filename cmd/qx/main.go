@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	qx [-shots N] [-seed S] [-depolarizing P] [-readout P] [-state] file.cq
+//	qx [-shots N] [-seed S] [-engine E] [-parallel W] [-depolarizing P] [-readout P] [-state] file.cq
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cqasm"
 	"repro/internal/qx"
@@ -18,6 +19,10 @@ import (
 func main() {
 	shots := flag.Int("shots", 1024, "number of measurement shots")
 	seed := flag.Int64("seed", 1, "PRNG seed")
+	engineName := flag.String("engine", qx.DefaultEngine,
+		"execution engine: "+strings.Join(qx.EngineNames(), ", "))
+	parallel := flag.Int("parallel", 0,
+		"shot-batch workers (>1 fans shots across goroutines; 0/1 serial)")
 	depol := flag.Float64("depolarizing", 0, "per-gate depolarizing probability (realistic qubits)")
 	readout := flag.Float64("readout", 0, "readout flip probability")
 	showState := flag.Bool("state", false, "print the final state vector (perfect, measurement-free circuits)")
@@ -35,16 +40,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	engine, err := qx.EngineByName(*engineName)
+	if err != nil {
+		fatal(err)
+	}
 
 	var sim *qx.Simulator
 	if *depol > 0 || *readout > 0 {
 		noise := qx.Depolarizing(*depol)
 		noise.ReadoutError = *readout
-		sim = qx.NewNoisy(*seed, noise)
-		fmt.Printf("mode: realistic qubits (depolarizing %.2g, readout %.2g)\n", *depol, *readout)
+		sim = qx.NewNoisyWithEngine(*seed, noise, engine)
+		fmt.Printf("mode: realistic qubits (depolarizing %.2g, readout %.2g), engine %s\n",
+			*depol, *readout, engine.Name())
 	} else {
-		sim = qx.New(*seed)
-		fmt.Println("mode: perfect qubits")
+		sim = qx.NewWithEngine(*seed, engine)
+		fmt.Printf("mode: perfect qubits, engine %s\n", engine.Name())
 	}
 
 	if *showState {
@@ -55,7 +65,12 @@ func main() {
 		fmt.Println(st)
 		return
 	}
-	res, err := sim.Run(c, *shots)
+	var res *qx.Result
+	if *parallel > 1 {
+		res, err = sim.RunParallel(c, *shots, *parallel)
+	} else {
+		res, err = sim.Run(c, *shots)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -14,6 +14,20 @@
 // internal/grover), and hybrid optimisation (internal/tsp, internal/qubo,
 // internal/anneal, internal/embed, internal/qaoa).
 //
+// The execution layer itself is pluggable: internal/qx defines an Engine
+// interface — execute a compiled circuit into sampled counts or a final
+// state — with two implementations, the naive reference engine and the
+// default optimized dense engine (specialized bit-twiddling kernels,
+// precompiled per-circuit matrix tables, chunk-parallel amplitude
+// application, cumulative-distribution sampling). The two are
+// differentially tested to produce identical seeded counts, and engine
+// selection threads through every layer: core.Stack.Engine (part of the
+// compiled-circuit fingerprint), microarch (any engine-backed simulator),
+// per-job engine choice in qserv, and -engine flags on cmd/qx and
+// cmd/qservd. Large shot counts fan out across CPU cores in parallel
+// shot batches (qx.Simulator.RunParallel, core.Stack.ParallelShots,
+// microarch.Machine.ShotWorkers).
+//
 // Above the single-caller stack sits the concurrent accelerator service
 // (internal/qserv): a bounded job queue feeding per-backend worker pools
 // over the heterogeneous accelerators of Fig 1 — the gate-based stacks,

@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 
 	"repro/internal/compiler"
 	"repro/internal/microarch"
@@ -27,6 +29,38 @@ type Stack struct {
 	Optimize bool
 	Policy   compiler.Policy
 	Mapping  compiler.MapOptions
+	// Engine names the qx execution engine backing the stack ("reference",
+	// "optimized"); empty selects the qx default. Part of Fingerprint.
+	Engine string
+	// ParallelShots is the shot count at or above which RunCompiled fans
+	// shot execution out across CPU cores in parallel batches. 0 selects
+	// DefaultParallelShots; negative disables parallel batches. Parallel
+	// runs stay deterministic per (seed, core count) but draw different
+	// PRNG streams than serial runs, so tests pinning exact counts should
+	// stay below the threshold or disable it.
+	ParallelShots int
+	// KernelWorkers caps the simulator's amplitude-kernel parallelism per
+	// run (0 = machine-sized, 1 = serial). Services executing many jobs
+	// concurrently set this so per-job kernel goroutines do not multiply
+	// with their worker pools.
+	KernelWorkers int
+}
+
+// DefaultParallelShots is the parallel-shot-batch threshold used when
+// Stack.ParallelShots is zero. It sits above the shot counts the test
+// and example corpus pins exact counts for.
+const DefaultParallelShots = 4096
+
+// parallelShotThreshold resolves the ParallelShots setting.
+func (s *Stack) parallelShotThreshold() int {
+	switch {
+	case s.ParallelShots < 0:
+		return math.MaxInt
+	case s.ParallelShots == 0:
+		return DefaultParallelShots
+	default:
+		return s.ParallelShots
+	}
 }
 
 // NewPerfect returns the application-development stack of Fig 2(b):
@@ -128,6 +162,10 @@ func (s *Stack) Compile(p *openql.Program) (*openql.Compiled, error) {
 // order. It is safe for concurrent use: the Stack is only read, and all
 // mutable execution state is created per call.
 func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int, seed int64) (*Report, error) {
+	engine, err := qx.EngineByName(s.Engine)
+	if err != nil {
+		return nil, err
+	}
 	report := &Report{
 		Stack:    s.Name,
 		Mode:     s.Mode,
@@ -136,9 +174,16 @@ func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int,
 		Mapping:  compiled.MapResult,
 		WallNs:   compiled.Schedule.Makespan * s.Platform.CycleTimeNs,
 	}
+	parallel := shots >= s.parallelShotThreshold()
 	if s.Mode == openql.PerfectQubits {
-		sim := qx.New(seed)
-		res, err := sim.Run(compiled.Circuit, shots)
+		sim := qx.NewWithEngine(seed, engine)
+		sim.KernelWorkers = s.KernelWorkers
+		var res *qx.Result
+		if parallel {
+			res, err = sim.RunParallel(compiled.Circuit, shots, 0)
+		} else {
+			res, err = sim.Run(compiled.Circuit, shots)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +191,12 @@ func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int,
 		return report, nil
 	}
 	// Realistic path: eQASM through the micro-architecture onto noisy QX.
-	machine := microarch.New(s.Microcode, qx.NewNoisy(seed, s.Noise))
+	backend := qx.NewNoisyWithEngine(seed, s.Noise, engine)
+	backend.KernelWorkers = s.KernelWorkers
+	machine := microarch.New(s.Microcode, backend)
+	if parallel {
+		machine.ShotWorkers = runtime.GOMAXPROCS(0)
+	}
 	run, err := machine.Execute(compiled.EQASM, shots)
 	if err != nil {
 		return nil, err
@@ -160,12 +210,25 @@ func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int,
 	return report, nil
 }
 
-// Fingerprint identifies the stack's compiler-relevant configuration. Two
-// stacks with equal fingerprints produce identical Compile output for the
-// same program, so it is the stack half of a compiled-circuit cache key
-// (seed and noise are deliberately excluded: they affect execution, not
-// compilation).
+// Fingerprint identifies the stack's full execution-relevant
+// configuration: the compile fingerprint plus the engine that will run
+// the compiled circuits.
 func (s *Stack) Fingerprint() string {
+	engine := s.Engine
+	if engine == "" {
+		engine = qx.DefaultEngine
+	}
+	return s.CompileFingerprint() + "|eng=" + engine
+}
+
+// CompileFingerprint identifies only the compiler-relevant configuration.
+// Two stacks with equal compile fingerprints produce identical Compile
+// output for the same program — engines execute compiled circuits, they
+// never change them — so this is the stack half of a compiled-circuit
+// cache key (seed, noise and engine are deliberately excluded: they
+// affect execution, not compilation, and keying the cache on them would
+// recompile identical programs).
+func (s *Stack) CompileFingerprint() string {
 	return fmt.Sprintf("%s|%s|%s|q%d|opt=%v|%s|map=%+v",
 		s.Name, s.Mode, s.Platform.Name, s.Platform.NumQubits,
 		s.Optimize, s.Policy, s.Mapping)

@@ -2,10 +2,12 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/openql"
+	"repro/internal/qx"
 )
 
 func bell() *openql.Program {
@@ -86,6 +88,101 @@ func TestStackRejectsOversizedProgram(t *testing.T) {
 	p.AddKernel(openql.NewKernel("k", 64).H(63))
 	if _, err := NewSuperconducting(1).Execute(p, 10); err == nil {
 		t.Error("64-qubit program accepted on 17-qubit stack")
+	}
+}
+
+func TestStackEngineOption(t *testing.T) {
+	// The same seeded program must yield identical counts on both engines,
+	// across the perfect and the realistic stack.
+	for _, build := range []func() *Stack{
+		func() *Stack { return NewPerfect(2, 7) },
+		func() *Stack { return NewSuperconducting(7) },
+	} {
+		ref := build()
+		ref.Engine = qx.EngineReference
+		opt := build()
+		opt.Engine = qx.EngineOptimized
+		repRef, err := ref.Execute(bell(), 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repOpt, err := opt.Execute(bell(), 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(repRef.Result.Counts, repOpt.Result.Counts) {
+			t.Errorf("stack %s: engines diverge: %v vs %v",
+				ref.Name, repRef.Result.Counts, repOpt.Result.Counts)
+		}
+		if ref.Fingerprint() == opt.Fingerprint() {
+			t.Errorf("stack %s: fingerprint does not include the engine", ref.Name)
+		}
+		if !strings.Contains(opt.Fingerprint(), "eng=optimized") {
+			t.Errorf("fingerprint %q lacks engine tag", opt.Fingerprint())
+		}
+		// Compilation is engine-independent, so the compile-cache half of
+		// the key must not fragment across engines.
+		if ref.CompileFingerprint() != opt.CompileFingerprint() {
+			t.Errorf("stack %s: compile fingerprint varies with engine", ref.Name)
+		}
+	}
+	// The default engine is spelled out so "" and the default name key the
+	// compile cache identically.
+	def := NewPerfect(2, 7)
+	named := NewPerfect(2, 7)
+	named.Engine = qx.DefaultEngine
+	if def.Fingerprint() != named.Fingerprint() {
+		t.Error("empty engine and default engine fingerprint differently")
+	}
+}
+
+func TestStackUnknownEngine(t *testing.T) {
+	s := NewPerfect(2, 1)
+	s.Engine = "warp-drive"
+	if _, err := s.Execute(bell(), 10); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestStackParallelShots(t *testing.T) {
+	// Force the parallel-batch path with a tiny threshold on both stack
+	// modes and check the merged statistics stay coherent.
+	perfect := NewPerfect(2, 11)
+	perfect.ParallelShots = 8
+	rep, err := perfect.Execute(bell(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for idx, n := range rep.Result.Counts {
+		if idx != 0 && idx != 3 {
+			t.Errorf("impossible Bell outcome %d", idx)
+		}
+		total += n
+	}
+	if total != 64 {
+		t.Errorf("parallel perfect run merged %d shots, want 64", total)
+	}
+
+	noisy := NewSuperconducting(11)
+	noisy.ParallelShots = 8
+	repN, err := noisy.Execute(bell(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalN := 0
+	for _, n := range repN.Result.Counts {
+		totalN += n
+	}
+	if totalN != 64 {
+		t.Errorf("parallel realistic run merged %d shots, want 64", totalN)
+	}
+
+	// Negative disables the threshold entirely.
+	off := NewPerfect(2, 11)
+	off.ParallelShots = -1
+	if _, err := off.Execute(bell(), 64); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -132,8 +132,15 @@ type Machine struct {
 	Config *Config
 	// Backend runs the decoded gates; nil executes timing-only (no
 	// quantum state), which the paper's stack uses for hardware
-	// bring-up.
+	// bring-up. Any engine-backed simulator works: the ADI only drives
+	// the qx API, so swapping the execution engine (reference, optimized,
+	// or a registered alternative) never touches this layer.
 	Backend *qx.Simulator
+	// ShotWorkers > 1 splits the per-shot quantum execution across that
+	// many goroutines, each on its own derived-seed simulator (see
+	// qx.Simulator.RunParallel); 0 or 1 keeps shots serial. Timing
+	// decode is unaffected — it is simulated once either way.
+	ShotWorkers int
 }
 
 // New returns a machine with the given microcode config and backend.
@@ -201,7 +208,15 @@ func (m *Machine) runBackend(prog *eqasm.Program, gates []circuit.Gate, shots in
 		}
 		c.AddGate(ng)
 	}
-	res, err := m.Backend.Run(c, shots)
+	var (
+		res *qx.Result
+		err error
+	)
+	if m.ShotWorkers > 1 {
+		res, err = m.Backend.RunParallel(c, shots, m.ShotWorkers)
+	} else {
+		res, err = m.Backend.Run(c, shots)
+	}
 	if err != nil {
 		return nil, err
 	}

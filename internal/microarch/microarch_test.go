@@ -204,3 +204,28 @@ func TestBackendCompactionRemapsOutcomes(t *testing.T) {
 		t.Errorf("result register size %d", report.Result.NumQubits)
 	}
 }
+
+func TestShotWorkersParallelBackend(t *testing.T) {
+	p := compiler.Superconducting()
+	prog := compileToEqasm(t, circuit.Bell().MeasureAll(), p)
+	m := New(SuperconductingConfig(), qx.NewNoisy(7, qx.Depolarizing(0.01)))
+	m.ShotWorkers = 4
+	report, err := m.Execute(prog, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Result == nil {
+		t.Fatal("no quantum result")
+	}
+	total := 0
+	for _, n := range report.Result.Counts {
+		total += n
+	}
+	if total != 400 || report.Result.Shots != 400 {
+		t.Errorf("parallel shots merged %d (Shots=%d), want 400", total, report.Result.Shots)
+	}
+	// Timing decode is shot-independent and must be unaffected.
+	if report.Trace == nil || report.Trace.TotalNs <= 0 {
+		t.Error("parallel shot execution lost the timing trace")
+	}
+}

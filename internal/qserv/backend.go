@@ -38,28 +38,39 @@ func (b *StackBackend) Name() string { return b.Stack.Name }
 // Accepts reports whether the request is a gate job.
 func (b *StackBackend) Accepts(r *Request) bool { return r.CQASM != "" || r.Program != nil }
 
-// Run compiles (or cache-fetches) the program and executes it.
+// Run compiles (or cache-fetches) the program and executes it. A per-job
+// engine override executes (and caches) under a copy of the stack with
+// that engine, so jobs on one backend can pick their execution engine
+// independently.
 func (b *StackBackend) Run(r *Request, seed int64, cache *CompileCache) (*Result, bool, error) {
 	p, err := b.program(r)
 	if err != nil {
 		return nil, false, err
+	}
+	stack := b.Stack
+	if r.Engine != "" && r.Engine != stack.Engine {
+		override := *stack
+		override.Engine = r.Engine
+		stack = &override
 	}
 	var (
 		compiled *openql.Compiled
 		hit      bool
 	)
 	if cache == nil {
-		compiled, err = b.Stack.Compile(p)
+		compiled, err = stack.Compile(p)
 	} else {
-		key := cacheKey(b.Stack.Fingerprint(), canonicalText(p))
+		// Keyed on the compile fingerprint only: an engine override
+		// changes execution, not compilation, so it reuses the entry.
+		key := cacheKey(stack.CompileFingerprint(), canonicalText(p))
 		compiled, hit, err = cache.GetOrCompile(key, func() (*openql.Compiled, error) {
-			return b.Stack.Compile(p)
+			return stack.Compile(p)
 		})
 	}
 	if err != nil {
 		return nil, false, err
 	}
-	rep, err := b.Stack.RunCompiled(compiled, p.NumQubits, r.Shots, seed)
+	rep, err := stack.RunCompiled(compiled, p.NumQubits, r.Shots, seed)
 	if err != nil {
 		return nil, hit, err
 	}

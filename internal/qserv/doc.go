@@ -19,6 +19,8 @@
 //	                 compile cache ◀──shared──┘                │
 //	                        │                                  │
 //	                  core.Stack.RunCompiled           accel.Accelerator
+//	                        │
+//	                   qx.Engine (reference | optimized | registered)
 //
 // A Job is submitted as cQASM text or an *openql.Program (gate jobs) or a
 // *qubo.QUBO (annealing jobs), plus a target backend name and a shot
@@ -36,17 +38,39 @@
 // block the perfect-qubit lane, mirroring how a heterogeneous system of
 // Fig 1 runs its co-processors independently.
 //
+// # Execution engines and parallel shots
+//
+// Beneath every gate backend sits the pluggable qx execution-engine layer
+// rather than one hard-wired simulator. Config.Engine picks the engine
+// the stacks run on (the optimized dense engine by default), and each
+// job may override it through Request.Engine / the JSON "engine" field —
+// useful for differential debugging, since both bundled engines return
+// identical seeded counts. New engines registered with qx.RegisterEngine
+// become selectable here with no qserv changes.
+//
+// Jobs with large shot counts (core.Stack.ParallelShots, default 4096)
+// execute as parallel shot batches: shots are split across CPU cores,
+// each batch on its own derived-seed simulator, and the counts merged —
+// so a single heavy job uses the machine even when its lane has one
+// worker. Per-job parallelism composes with the worker pools above it
+// and the chunk-parallel amplitude kernels below it (see internal/qx and
+// internal/quantum for that concurrency contract).
+//
 // Gate backends share one compiled-circuit cache keyed by
-// (program cQASM, stack fingerprint): repeated submissions of the same
-// program to the same target skip decomposition, optimisation, mapping
-// and scheduling entirely and go straight to seeded QX execution
-// (core.Stack.RunCompiled). In-flight compilations are deduplicated, so N
-// simultaneous submissions of one new program compile it once.
+// (program cQASM, stack compile fingerprint): repeated submissions of the
+// same program to the same target skip decomposition, optimisation,
+// mapping and scheduling entirely and go straight to seeded QX execution
+// (core.Stack.RunCompiled). Compilation is engine-independent, so jobs
+// that override the engine reuse the same entry. In-flight compilations
+// are deduplicated, so N simultaneous submissions of one new program
+// compile it once.
 //
 // Execution is deterministic per job: every job gets a derived seed, and
 // all mutable simulator state is created per run (see the concurrency
-// contract in internal/qx), so results are reproducible and the whole
-// service is race-free under `go test -race`.
+// contract in internal/qx) — engines themselves are stateless and shared
+// — so results are reproducible and the whole service is race-free under
+// `go test -race`. Parallel shot batches stay deterministic per
+// (seed, core count).
 //
 // The embedded HTTP API (Service.Handler) exposes POST /submit,
 // GET /jobs/{id} (with optional ?wait=duration long-polling) and

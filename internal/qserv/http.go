@@ -18,6 +18,7 @@ type SubmitRequest struct {
 	CQASM   string    `json:"cqasm,omitempty"`
 	QUBO    *QUBOJSON `json:"qubo,omitempty"`
 	Backend string    `json:"backend,omitempty"`
+	Engine  string    `json:"engine,omitempty"`
 	Shots   int       `json:"shots,omitempty"`
 	Seed    int64     `json:"seed,omitempty"`
 }
@@ -155,6 +156,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Name:    sr.Name,
 		CQASM:   sr.CQASM,
 		Backend: sr.Backend,
+		Engine:  sr.Engine,
 		Shots:   sr.Shots,
 		Seed:    sr.Seed,
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/openql"
 	"repro/internal/qubo"
+	"repro/internal/qx"
 )
 
 // Status is the lifecycle state of a job.
@@ -38,6 +39,11 @@ type Request struct {
 	// Backend names the target backend; empty routes to the first backend
 	// that accepts the payload.
 	Backend string
+	// Engine selects the qx execution engine for this job's gate
+	// execution ("reference", "optimized", or any registered engine);
+	// empty uses the backend stack's configured engine. Ignored by
+	// annealing backends.
+	Engine string
 	// Shots is the number of executions aggregated into the result
 	// (gate jobs); defaults to the service's DefaultShots.
 	Shots int
@@ -60,6 +66,11 @@ func (r *Request) validate() error {
 	}
 	if n != 1 {
 		return fmt.Errorf("qserv: request must carry exactly one of cqasm, program or qubo (got %d)", n)
+	}
+	if r.Engine != "" {
+		if _, err := qx.EngineByName(r.Engine); err != nil {
+			return err
+		}
 	}
 	return nil
 }

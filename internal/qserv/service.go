@@ -33,6 +33,10 @@ type Config struct {
 	CacheSize int
 	// Seed is the base of the per-job seed derivation (default 1).
 	Seed int64
+	// Engine names the qx execution engine DefaultService configures the
+	// gate stacks with ("reference", "optimized"); empty uses the qx
+	// default. Individual jobs may still override it per request.
+	Engine string
 	// RetainJobs bounds how many completed jobs stay queryable; the
 	// oldest finished jobs are evicted beyond it (default 4096; negative
 	// retains everything — for tests and short-lived services).

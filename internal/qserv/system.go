@@ -1,6 +1,8 @@
 package qserv
 
 import (
+	"runtime"
+
 	"repro/internal/anneal"
 	"repro/internal/core"
 )
@@ -9,13 +11,29 @@ import (
 // service: perfect, superconducting and semiconducting gate stacks, the
 // simulated quantum annealer, and the classical QUBO fallback. qubits
 // sizes the perfect stack; workers sizes every pool (<= 0 selects
-// Config.DefaultWorkers). The service is returned unstarted.
+// Config.DefaultWorkers). Every gate stack executes on Config.Engine
+// (jobs may override per request) and fans large shot counts out in
+// parallel batches. The service is returned unstarted.
 func DefaultService(cfg Config, qubits int, workers int) *Service {
 	s := New(cfg)
-	seed := cfg.withDefaults().Seed
-	s.AddBackend(NewStackBackend(core.NewPerfect(qubits, seed)), workers)
-	s.AddBackend(NewStackBackend(core.NewSuperconducting(seed)), workers)
-	s.AddBackend(NewStackBackend(core.NewSemiconducting(seed)), workers)
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	poolWorkers := workers
+	if poolWorkers <= 0 {
+		poolWorkers = cfg.DefaultWorkers
+	}
+	// Budget per-job amplitude-kernel goroutines against the pool size so
+	// concurrent jobs do not multiply into CPU oversubscription.
+	kernelWorkers := max(1, runtime.GOMAXPROCS(0)/poolWorkers)
+	for _, stack := range []*core.Stack{
+		core.NewPerfect(qubits, seed),
+		core.NewSuperconducting(seed),
+		core.NewSemiconducting(seed),
+	} {
+		stack.Engine = cfg.Engine
+		stack.KernelWorkers = kernelWorkers
+		s.AddBackend(NewStackBackend(stack), workers)
+	}
 	s.AddBackend(NewAnnealBackend("annealer", false, anneal.SQAOptions{}, anneal.DigitalAnnealerOptions{}), workers)
 	s.AddBackend(NewClassicalFallback("classical", 20), workers)
 	return s

@@ -13,6 +13,9 @@ import (
 type State struct {
 	n    int
 	amps []complex128
+	// workers is the gate-kernel parallelism (see SetParallelism); <=1
+	// keeps every kernel serial.
+	workers int
 }
 
 // NewState returns the n-qubit state initialised to |0...0>.
@@ -60,9 +63,10 @@ func (s *State) Amplitudes() []complex128 {
 	return out
 }
 
-// Clone returns a deep copy of the state.
+// Clone returns a deep copy of the state (including its parallelism
+// setting).
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amps: make([]complex128, len(s.amps))}
+	c := &State{n: s.n, amps: make([]complex128, len(s.amps)), workers: s.workers}
 	copy(c.amps, s.amps)
 	return c
 }
@@ -126,25 +130,27 @@ func (s *State) Fidelity(t *State) float64 {
 	return real(ip)*real(ip) + imag(ip)*imag(ip)
 }
 
-// ApplyOne applies the 2×2 unitary u to qubit q in place.
+// ApplyOne applies the 2×2 unitary u to qubit q in place. Amplitude pairs
+// are independent, so the loop fans out across goroutines when kernel
+// parallelism is enabled (see SetParallelism).
 func (s *State) ApplyOne(u Matrix, q int) {
 	if u.N != 2 {
 		panic("quantum: ApplyOne requires a 2x2 matrix")
 	}
 	s.checkQubit(q)
 	bit := 1 << uint(q)
+	low := bit - 1
 	u00, u01 := u.Data[0], u.Data[1]
 	u10, u11 := u.Data[2], u.Data[3]
-	dim := len(s.amps)
-	for base := 0; base < dim; base += bit << 1 {
-		for off := 0; off < bit; off++ {
-			i0 := base + off
+	s.parRange(len(s.amps)/2, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i0 := expand1(p, low)
 			i1 := i0 | bit
 			a0, a1 := s.amps[i0], s.amps[i1]
 			s.amps[i0] = u00*a0 + u01*a1
 			s.amps[i1] = u10*a0 + u11*a1
 		}
-	}
+	})
 }
 
 // ApplyTwo applies the 4×4 unitary u to the qubit pair (q0, q1), where q0
@@ -161,32 +167,31 @@ func (s *State) ApplyTwo(u Matrix, q0, q1 int) {
 	}
 	b0 := 1 << uint(q0)
 	b1 := 1 << uint(q1)
-	dim := len(s.amps)
-	mask := b0 | b1
-	var idx [4]int
-	var in, out [4]complex128
-	for i := 0; i < dim; i++ {
-		if i&mask != 0 {
-			continue // visit each 4-amplitude group once, at its lowest index
-		}
-		idx[0] = i
-		idx[1] = i | b0
-		idx[2] = i | b1
-		idx[3] = i | b0 | b1
-		for k := 0; k < 4; k++ {
-			in[k] = s.amps[idx[k]]
-		}
-		for r := 0; r < 4; r++ {
-			var acc complex128
-			for c := 0; c < 4; c++ {
-				acc += u.Data[r*4+c] * in[c]
+	lowA, lowB := pairMasks(q0, q1)
+	s.parRange(len(s.amps)/4, func(lo, hi int) {
+		var idx [4]int
+		var in, out [4]complex128
+		for p := lo; p < hi; p++ {
+			i := expand2(p, lowA, lowB)
+			idx[0] = i
+			idx[1] = i | b0
+			idx[2] = i | b1
+			idx[3] = i | b0 | b1
+			for k := 0; k < 4; k++ {
+				in[k] = s.amps[idx[k]]
 			}
-			out[r] = acc
+			for r := 0; r < 4; r++ {
+				var acc complex128
+				for c := 0; c < 4; c++ {
+					acc += u.Data[r*4+c] * in[c]
+				}
+				out[r] = acc
+			}
+			for k := 0; k < 4; k++ {
+				s.amps[idx[k]] = out[k]
+			}
 		}
-		for k := 0; k < 4; k++ {
-			s.amps[idx[k]] = out[k]
-		}
-	}
+	})
 }
 
 // Apply applies a k-qubit unitary u to the listed qubits; qubits[0] maps to
@@ -214,32 +219,34 @@ func (s *State) Apply(u Matrix, qubits ...int) {
 		seen[q] = true
 		mask |= 1 << uint(q)
 	}
-	dim := len(s.amps)
 	sub := 1 << uint(k)
-	idx := make([]int, sub)
-	in := make([]complex128, sub)
-	for i := 0; i < dim; i++ {
-		if i&mask != 0 {
-			continue
-		}
-		for g := 0; g < sub; g++ {
-			j := i
-			for b := 0; b < k; b++ {
-				if g&(1<<uint(b)) != 0 {
-					j |= 1 << uint(qubits[b])
+	lows := maskLows(mask, s.n)
+	// Enumerate the 2^(n-k) amplitude groups compactly so every chunk
+	// carries equal work regardless of which qubits the gate acts on.
+	s.parRange(len(s.amps)>>uint(k), func(lo, hi int) {
+		idx := make([]int, sub)
+		in := make([]complex128, sub)
+		for p := lo; p < hi; p++ {
+			i := expandN(p, lows)
+			for g := 0; g < sub; g++ {
+				j := i
+				for b := 0; b < k; b++ {
+					if g&(1<<uint(b)) != 0 {
+						j |= 1 << uint(qubits[b])
+					}
 				}
+				idx[g] = j
+				in[g] = s.amps[j]
 			}
-			idx[g] = j
-			in[g] = s.amps[j]
-		}
-		for r := 0; r < sub; r++ {
-			var acc complex128
-			for c := 0; c < sub; c++ {
-				acc += u.Data[r*sub+c] * in[c]
+			for r := 0; r < sub; r++ {
+				var acc complex128
+				for c := 0; c < sub; c++ {
+					acc += u.Data[r*sub+c] * in[c]
+				}
+				s.amps[idx[r]] = acc
 			}
-			s.amps[idx[r]] = acc
 		}
-	}
+	})
 }
 
 // ApplyControlledOne applies u to target when all control qubits are 1.
@@ -259,16 +266,19 @@ func (s *State) ApplyControlledOne(u Matrix, target int, controls ...int) {
 	bit := 1 << uint(target)
 	u00, u01 := u.Data[0], u.Data[1]
 	u10, u11 := u.Data[2], u.Data[3]
-	dim := len(s.amps)
-	for i0 := 0; i0 < dim; i0++ {
-		if i0&bit != 0 || i0&cmask != cmask {
-			continue
+	// Enumerate only the active groups — control bits set, target clear —
+	// compactly, so work stays balanced across parallel chunks and the
+	// serial path never scans inactive indices.
+	lows := maskLows(cmask|bit, s.n)
+	s.parRange(len(s.amps)>>uint(len(lows)), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i0 := expandN(p, lows) | cmask
+			i1 := i0 | bit
+			a0, a1 := s.amps[i0], s.amps[i1]
+			s.amps[i0] = u00*a0 + u01*a1
+			s.amps[i1] = u10*a0 + u11*a1
 		}
-		i1 := i0 | bit
-		a0, a1 := s.amps[i0], s.amps[i1]
-		s.amps[i0] = u00*a0 + u01*a1
-		s.amps[i1] = u10*a0 + u11*a1
-	}
+	})
 }
 
 // ProbOne returns the probability that measuring qubit q yields 1.
@@ -306,16 +316,34 @@ func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
 }
 
 // ProjectQubit projects qubit q onto the given outcome and renormalises.
+// Zeroing the non-matching amplitudes and accumulating the surviving norm
+// happen in one pass — this sits inside MeasureQubit, which runs in every
+// noisy shot loop. A zero-probability outcome leaves the zero vector, as
+// Normalize would.
 func (s *State) ProjectQubit(q, outcome int) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
-	for i := range s.amps {
-		set := i&bit != 0
-		if (outcome == 1) != set {
-			s.amps[i] = 0
-		}
+	want := 0
+	if outcome == 1 {
+		want = bit
 	}
-	s.Normalize()
+	var t float64
+	for i := range s.amps {
+		if i&bit != want {
+			s.amps[i] = 0
+			continue
+		}
+		a := s.amps[i]
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if t == 0 {
+		return
+	}
+	inv := complex(1/math.Sqrt(t), 0)
+	low := bit - 1
+	for p := 0; p < len(s.amps)/2; p++ {
+		s.amps[expand1(p, low)|want] *= inv
+	}
 }
 
 // SampleIndex draws a basis-state index from the measurement distribution

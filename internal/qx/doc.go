@@ -1,0 +1,64 @@
+// Package qx implements the QX simulator layer of the stack: execution of
+// gate circuits on perfect qubits (no decoherence, no gate errors) or
+// realistic qubits (stochastic Pauli errors, amplitude/phase damping and
+// readout errors via quantum-trajectory unravelling), as described in
+// §2.7 of the paper.
+//
+// # Engine layer
+//
+// Execution is split from configuration: a Simulator holds the run
+// configuration (noise model, fusion flag, PRNG) and delegates the actual
+// work to a pluggable Engine — the swappable execution layer the upper
+// layers of the stack (core.Stack, the micro-architecture, qserv) target
+// by interface rather than by implementation. Two engines ship:
+//
+//   - "reference" (Reference): the naive dense engine — per-gate matrix
+//     materialisation, generic matrix application, linear-scan sampling.
+//     It is the behavioural baseline.
+//   - "optimized" (Optimized, the default): compiles the circuit once per
+//     run into a typed op table with precomputed matrices, lowers the
+//     common gate set to specialized bit-twiddling kernels, applies
+//     amplitudes chunk-parallel across goroutines on large states, and
+//     samples deterministic multi-shot runs through a cumulative
+//     distribution with binary search.
+//
+// The two produce identical seeded counts — every optimized substitution
+// preserves measurement probabilities bit-for-bit — which the randomized
+// differential tests in engine_test.go enforce. Engine selection threads
+// through the whole stack: core.Stack.Engine (part of the stack
+// fingerprint), the qserv per-job "engine" field, and the -engine flags
+// of cmd/qx and cmd/qservd.
+//
+// To add an engine, implement Engine (execute a validated circuit against
+// a dense state, consuming randomness only from the ExecEnv PRNG) and
+// RegisterEngine it; EngineByName then resolves it everywhere a name is
+// accepted. An engine that walks gates in circuit order and draws from
+// the PRNG at the same points as the reference engine keeps seeded counts
+// comparable; one that does not must document its own determinism story.
+//
+// # Concurrency contract
+//
+// A Simulator is NOT safe for concurrent use: it owns a PRNG that is
+// mutated during execution. The contract for parallel execution — worker
+// pools in internal/qserv run many jobs simultaneously — is one Simulator
+// per goroutine: construct a fresh Simulator (New/NewNoisy, each with its
+// own seeded PRNG) per job and keep all per-job simulation state
+// goroutine-local. core.Stack.RunCompiled follows this contract, so a
+// shared *core.Stack may be executed from many goroutines at once.
+//
+// Engines are stateless and shared: all per-run state lives in the
+// ExecEnv and in locals. Simulator.RunParallel fans one run's shots out
+// across internally-created per-goroutine simulators with derived seeds,
+// so callers get parallel shot batches without managing simulators
+// themselves. Within a single run, the optimized engine additionally
+// parallelises amplitude application across goroutines (bit-identical to
+// serial; see quantum.State.SetParallelism) — that parallelism is
+// confined to the engine call and invisible to the caller.
+//
+// Everything a Simulator reads from outside itself is safe to share:
+// *circuit.Circuit values and their gates are only read (engines compile
+// or fuse into their own structures; they never mutate the input),
+// *NoiseModel is only read, and the package-level gate matrices and the
+// circuit registry are immutable after init. A *Result is returned
+// exclusively to its caller.
+package qx

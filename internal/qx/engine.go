@@ -1,0 +1,196 @@
+package qx
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/quantum"
+)
+
+// Engine is the pluggable execution layer beneath Simulator: it takes a
+// validated circuit and turns it into sampled counts or a final state.
+// The upper layers of the stack (core.Stack, microarch, qserv) target
+// this interface rather than one concrete implementation, mirroring how
+// the paper treats QX as the swappable layer under the micro-architecture.
+//
+// Engines must be stateless (or internally synchronised): one Engine
+// value is shared by every Simulator that selects it, across goroutines.
+// All per-run mutable state — the PRNG above all — arrives through the
+// ExecEnv and must stay local to the call.
+type Engine interface {
+	// Name returns the engine's registry name.
+	Name() string
+	// RunState executes the circuit once from |0…0>, collapsing on
+	// measurement, and returns the final state vector.
+	RunState(c *circuit.Circuit, env *ExecEnv) (*quantum.State, error)
+	// Run executes the circuit for the given number of shots and
+	// aggregates measured outcomes, exactly as Simulator.Run documents.
+	Run(c *circuit.Circuit, shots int, env *ExecEnv) (*Result, error)
+}
+
+// ExecEnv is the per-run execution environment a Simulator hands its
+// engine: the simulator's PRNG, noise model and fusion flag. It is only
+// valid for the duration of one engine call.
+type ExecEnv struct {
+	Rng    *rand.Rand
+	Noise  *NoiseModel
+	Fusion bool
+	// KernelWorkers bounds the amplitude-kernel parallelism of states the
+	// engine creates: 0 sizes it to the machine, 1 keeps kernels serial.
+	// RunParallel sets 1 on its shot workers so shot-level and
+	// amplitude-level parallelism never multiply into oversubscription.
+	KernelWorkers int
+}
+
+func (e *ExecEnv) noisy() bool { return !e.Noise.IsZero() }
+
+// Engine registry names.
+const (
+	// EngineReference is the naive dense engine: generic matrix
+	// application, per-gate matrix materialisation, linear-scan sampling.
+	// It is the behavioural baseline every other engine is differentially
+	// tested against.
+	EngineReference = "reference"
+	// EngineOptimized is the fast dense engine: specialized bit-twiddling
+	// kernels, a precompiled per-circuit op/matrix table, chunk-parallel
+	// amplitude application and O(log dim) cumulative sampling. Seeded
+	// counts are identical to the reference engine.
+	EngineOptimized = "optimized"
+	// DefaultEngine is the engine used when none is selected.
+	DefaultEngine = EngineOptimized
+)
+
+var (
+	engineMu       sync.RWMutex
+	engineRegistry = map[string]Engine{
+		EngineReference: referenceEngine{},
+		EngineOptimized: optimizedEngine{},
+	}
+)
+
+// Reference returns the reference engine.
+func Reference() Engine { return referenceEngine{} }
+
+// Optimized returns the optimized dense engine.
+func Optimized() Engine { return optimizedEngine{} }
+
+// RegisterEngine adds an engine under its Name for EngineByName lookup —
+// the extension point for alternative execution layers (sparse,
+// tensor-network, remote hardware). Registering an existing name panics.
+func RegisterEngine(e Engine) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	if _, dup := engineRegistry[e.Name()]; dup {
+		panic(fmt.Sprintf("qx: engine %q already registered", e.Name()))
+	}
+	engineRegistry[e.Name()] = e
+}
+
+// EngineByName resolves an engine name; the empty string selects the
+// default engine.
+func EngineByName(name string) (Engine, error) {
+	if name == "" {
+		name = DefaultEngine
+	}
+	engineMu.RLock()
+	e, ok := engineRegistry[name]
+	engineMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("qx: unknown engine %q (have %v)", name, EngineNames())
+	}
+	return e, nil
+}
+
+// EngineNames returns the registered engine names, sorted.
+func EngineNames() []string {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	out := make([]string, 0, len(engineRegistry))
+	for n := range engineRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Noise helpers shared by every engine. They consume the ExecEnv PRNG in
+// a fixed order, which is what keeps seeded counts identical across
+// engines: any engine that walks gates in circuit order and calls these
+// at the same points draws the same random sequence.
+
+// applyEnvGateNoise inserts the error channels that follow a gate on the
+// listed operand qubits in realistic mode, returning the number of
+// discrete Pauli errors injected.
+func applyEnvGateNoise(env *ExecEnv, st *quantum.State, qubits []int) int {
+	p := env.Noise.DepolarizingProb
+	if len(qubits) >= 2 {
+		p = env.Noise.TwoQubitDepolarizingProb
+	}
+	injected := 0
+	for _, q := range qubits {
+		if applyPauliError(st, q, p, env.Rng) {
+			injected++
+		}
+		applyEnvDecoherence(env, st, q)
+	}
+	return injected
+}
+
+func applyEnvDecoherence(env *ExecEnv, st *quantum.State, q int) {
+	if gamma := env.Noise.ampDampingGamma(); gamma > 0 {
+		applyAmplitudeDamping(st, q, gamma, env.Rng)
+	}
+	if lambda := env.Noise.dephasingLambda(); lambda > 0 {
+		applyDephasing(st, q, lambda, env.Rng)
+	}
+}
+
+// flipReadoutBit classically flips a measured bit with the model's
+// readout-error probability.
+func flipReadoutBit(env *ExecEnv, b int) int {
+	if env.Noise.ReadoutError > 0 && env.Rng.Float64() < env.Noise.ReadoutError {
+		return b ^ 1
+	}
+	return b
+}
+
+// applyEnvReadoutError flips each bit of a measured basis index with the
+// readout-error probability. It must only be called on the noisy path
+// (the deterministic perfect path hoists the no-noise check instead of
+// paying a per-shot no-op call), and only for implicit end-of-shot
+// MeasureAll outcomes — explicit measurement gates apply their readout
+// flip at the gate via flipReadoutBit, and applying both would double the
+// effective readout-error rate.
+func applyEnvReadoutError(env *ExecEnv, idx, n int) int {
+	if env.Noise.ReadoutError == 0 {
+		return idx
+	}
+	for q := 0; q < n; q++ {
+		if env.Rng.Float64() < env.Noise.ReadoutError {
+			idx ^= 1 << uint(q)
+		}
+	}
+	return idx
+}
+
+// applyEnvWait applies decoherence for an explicit wait of the given
+// cycle count across every qubit.
+func applyEnvWait(env *ExecEnv, st *quantum.State, numQubits int, cycles float64) {
+	for q := 0; q < numQubits; q++ {
+		for k := 0.0; k < cycles; k++ {
+			applyEnvDecoherence(env, st, q)
+		}
+	}
+}
+
+func circuitMeasures(c *circuit.Circuit) bool {
+	for _, g := range c.Gates {
+		if g.Name == circuit.OpMeasure || g.Name == circuit.OpMeasureAll {
+			return true
+		}
+	}
+	return false
+}

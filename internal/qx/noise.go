@@ -1,25 +1,3 @@
-// Package qx implements the QX simulator layer of the stack: execution of
-// gate circuits on perfect qubits (no decoherence, no gate errors) or
-// realistic qubits (stochastic Pauli errors, amplitude/phase damping and
-// readout errors via quantum-trajectory unravelling), as described in
-// §2.7 of the paper.
-//
-// # Concurrency contract
-//
-// A Simulator is NOT safe for concurrent use: it owns a PRNG and a
-// scratch table for gate fusion, both mutated during execution. The
-// contract for parallel shot execution — worker pools in internal/qserv
-// run many jobs simultaneously — is one Simulator per goroutine:
-// construct a fresh Simulator (New/NewNoisy, each with its own seeded
-// PRNG) per job and keep all per-job simulation state goroutine-local.
-// core.Stack.RunCompiled follows this contract, so a shared *core.Stack
-// may be executed from many goroutines at once.
-//
-// Everything a Simulator reads from outside itself is safe to share:
-// *circuit.Circuit values and their gates are only read (fusion builds a
-// new gate slice; it never mutates the input), *NoiseModel is only read,
-// and the package-level gate matrices and the circuit registry are
-// immutable after init. A *Result is returned exclusively to its caller.
 package qx
 
 import (

@@ -1,0 +1,44 @@
+package qx
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/quantum"
+)
+
+// cumSampler draws basis-state indices from a fixed state's measurement
+// distribution in O(log dim) per shot via binary search over the
+// cumulative distribution, replacing the O(dim) linear scan of
+// State.SampleIndex. The prefix sums are accumulated in index order with
+// the same floating-point operations as the linear scan, so a given PRNG
+// draw returns the identical index — this is what keeps the optimized
+// engine's seeded counts equal to the reference engine's.
+type cumSampler struct {
+	cum []float64
+}
+
+func newCumSampler(st *quantum.State) *cumSampler {
+	cum := make([]float64, st.Dim())
+	acc := 0.0
+	for i := range cum {
+		a := st.Amplitude(i)
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		cum[i] = acc
+	}
+	return &cumSampler{cum: cum}
+}
+
+// sample consumes exactly one rng.Float64, like State.SampleIndex.
+func (s *cumSampler) sample(rng *rand.Rand) int {
+	r := rng.Float64()
+	// Smallest i with r < cum[i] — the first index whose running
+	// probability mass exceeds the draw, exactly as the linear scan
+	// returns. The prefix sums are non-decreasing (each term is a square),
+	// so binary search finds the same index.
+	i := sort.Search(len(s.cum), func(i int) bool { return r < s.cum[i] })
+	if i == len(s.cum) {
+		return len(s.cum) - 1
+	}
+	return i
+}

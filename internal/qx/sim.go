@@ -3,6 +3,7 @@ package qx
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/quantum"
@@ -11,11 +12,14 @@ import (
 // Simulator executes circuits on perfect or realistic qubits. It mirrors
 // the QX engine of the paper: the micro-architecture sends instructions,
 // the simulator executes them, measures qubit states and returns results.
+// The actual execution strategy is delegated to a pluggable Engine; the
+// Simulator owns the run configuration (noise model, fusion flag, PRNG).
 //
-// A Simulator is not safe for concurrent use (it owns the PRNG and the
-// fusion scratch table); create one per goroutine. Input circuits are
-// never mutated and may be shared across simulators. See the package
-// comment for the full concurrency contract.
+// A Simulator is not safe for concurrent use (it owns the PRNG); create
+// one per goroutine, or use RunParallel, which fans shots out over
+// internally-created per-goroutine simulators. Input circuits are never
+// mutated and may be shared across simulators. See the package comment
+// for the full concurrency contract.
 type Simulator struct {
 	// Noise selects realistic-qubit execution; nil means perfect qubits.
 	Noise *NoiseModel
@@ -23,24 +27,68 @@ type Simulator struct {
 	// same qubit into one matrix before application (perfect mode only;
 	// with noise each physical gate must see its own error channel).
 	EnableFusion bool
+	// Engine selects the execution engine; nil uses the default
+	// (optimized) engine. Engines are stateless and may be shared.
+	Engine Engine
+	// KernelWorkers caps amplitude-kernel parallelism for engine-created
+	// states: 0 sizes it to the machine, 1 keeps kernels serial. Callers
+	// that already run many simulators concurrently (worker pools,
+	// parallel shot batches) should budget this so job-level and
+	// amplitude-level parallelism do not multiply into oversubscription;
+	// RunParallel sets 1 on its own shot workers automatically.
+	KernelWorkers int
 
-	rng   *rand.Rand
-	fused []quantum.Matrix // scratch table for fused gates, rebuilt per execution
+	seed int64
+	rng  *rand.Rand
 }
 
-// New returns a perfect-qubit simulator seeded deterministically.
+// New returns a perfect-qubit simulator seeded deterministically, backed
+// by the default engine.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewWithEngine returns a perfect-qubit simulator backed by the given
+// engine (nil selects the default).
+func NewWithEngine(seed int64, e Engine) *Simulator {
+	s := New(seed)
+	s.Engine = e
+	return s
 }
 
 // NewNoisy returns a realistic-qubit simulator with the given noise model.
 func NewNoisy(seed int64, noise *NoiseModel) *Simulator {
-	return &Simulator{Noise: noise, rng: rand.New(rand.NewSource(seed))}
+	s := New(seed)
+	s.Noise = noise
+	return s
+}
+
+// NewNoisyWithEngine returns a realistic-qubit simulator backed by the
+// given engine (nil selects the default).
+func NewNoisyWithEngine(seed int64, noise *NoiseModel, e Engine) *Simulator {
+	s := NewNoisy(seed, noise)
+	s.Engine = e
+	return s
 }
 
 // Rand exposes the simulator PRNG (for callers that interleave their own
 // sampling deterministically).
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Seed returns the seed the simulator was constructed with; all PRNG
+// streams — including RunParallel's per-worker seeds — derive from it.
+func (s *Simulator) Seed() int64 { return s.seed }
+
+func (s *Simulator) engine() Engine {
+	if s.Engine != nil {
+		return s.Engine
+	}
+	return Optimized()
+}
+
+func (s *Simulator) env() *ExecEnv {
+	return &ExecEnv{Rng: s.rng, Noise: s.Noise, Fusion: s.EnableFusion, KernelWorkers: s.KernelWorkers}
+}
 
 // RunState executes the circuit once and returns the final state vector.
 // Measurement gates collapse the state. Intended for perfect-qubit
@@ -50,12 +98,7 @@ func (s *Simulator) RunState(c *circuit.Circuit) (*quantum.State, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	st := quantum.NewState(c.NumQubits)
-	_, _, err := s.executeOnce(c, st)
-	if err != nil {
-		return nil, err
-	}
-	return st, nil
+	return s.engine().RunState(c, s.env())
 }
 
 // Run executes the circuit for the given number of shots and aggregates
@@ -68,45 +111,76 @@ func (s *Simulator) Run(c *circuit.Circuit, shots int) (*Result, error) {
 	if shots <= 0 {
 		return nil, fmt.Errorf("qx: shots must be positive, got %d", shots)
 	}
-	res := &Result{NumQubits: c.NumQubits, Shots: shots, Counts: map[int]int{}}
-	hasMeasure := circuitMeasures(c)
-	noisy := !s.Noise.IsZero()
+	return s.engine().Run(c, shots, s.env())
+}
 
-	// Perfect, measurement-free circuits are deterministic: execute the
-	// unitary part once and sample the final distribution per shot.
-	if !noisy && !hasMeasure {
-		st := quantum.NewState(c.NumQubits)
-		if _, _, err := s.executeOnce(c, st); err != nil {
-			return nil, err
-		}
-		for i := 0; i < shots; i++ {
-			idx := st.SampleIndex(s.rng)
-			res.Counts[s.applyReadoutError(idx, c.NumQubits)]++
-		}
-		return res, nil
+// RunParallel executes the circuit's shots split across worker
+// goroutines, each running on its own Simulator with this simulator's
+// configuration and a derived seed. workers <= 0 sizes the pool to the
+// machine's cores. Each call draws a fresh batch seed from the
+// simulator's PRNG, so repeated calls produce independent batches (like
+// repeated Run calls) while staying deterministic from the construction
+// seed.
+//
+// The merged counts are deterministic for a fixed (seed, workers) pair
+// but differ from a serial Run with the same seed: each worker draws from
+// its own PRNG stream. Use Run when cross-engine or cross-run count
+// equality matters; use RunParallel when wall-clock matters. Shot workers
+// run their amplitude kernels serially — shot-level parallelism already
+// saturates the cores, so the two levels never multiply.
+func (s *Simulator) RunParallel(c *circuit.Circuit, shots, workers int) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
-
-	st := quantum.NewState(c.NumQubits)
-	for i := 0; i < shots; i++ {
-		st.Reset()
-		bits, errs, err := s.executeOnce(c, st)
-		if err != nil {
-			return nil, err
+	if shots <= 0 {
+		return nil, fmt.Errorf("qx: shots must be positive, got %d", shots)
+	}
+	workers = shotWorkers(workers, shots)
+	if workers <= 1 {
+		return s.engine().Run(c, shots, s.env())
+	}
+	batchSeed := s.rng.Int63()
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	base, extra := shots/workers, shots%workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := base
+		if w < extra {
+			n++
 		}
-		res.GateErrorsInjected += errs
-		idx := 0
-		if hasMeasure {
-			for q, b := range bits {
-				if b == 1 {
-					idx |= 1 << uint(q)
-				}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			sub := &Simulator{
+				Noise:         s.Noise,
+				EnableFusion:  s.EnableFusion,
+				Engine:        s.Engine,
+				KernelWorkers: 1,
+				seed:          workerSeed(batchSeed, w),
 			}
-		} else {
-			idx = st.MeasureAll(s.rng)
-		}
-		res.Counts[s.applyReadoutError(idx, c.NumQubits)]++
+			sub.rng = rand.New(rand.NewSource(sub.seed))
+			results[w], errs[w] = sub.Run(c, n)
+		}(w, n)
 	}
-	return res, nil
+	wg.Wait()
+	merged := &Result{NumQubits: c.NumQubits, Shots: shots, Counts: map[int]int{}}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		for idx, count := range results[w].Counts {
+			merged.Counts[idx] += count
+		}
+		merged.GateErrorsInjected += results[w].GateErrorsInjected
+	}
+	return merged, nil
+}
+
+// workerSeed derives a distinct deterministic seed per shot-batch worker
+// from the batch seed (odd multiplier keeps the streams unique).
+func workerSeed(batchSeed int64, w int) int64 {
+	return batchSeed + int64(w+1)*2654435761
 }
 
 // SampleExpectation estimates the expectation of f over measured basis
@@ -121,161 +195,4 @@ func (s *Simulator) SampleExpectation(c *circuit.Circuit, shots int, f func(idx 
 		acc += f(idx) * float64(count)
 	}
 	return acc / float64(res.Shots), nil
-}
-
-// executeOnce runs all gates on st, returning measured bits per qubit
-// (latest measurement wins) and the number of injected errors.
-func (s *Simulator) executeOnce(c *circuit.Circuit, st *quantum.State) (map[int]int, int, error) {
-	bits := map[int]int{}
-	injected := 0
-	noisy := !s.Noise.IsZero()
-	gates := c.Gates
-	if s.EnableFusion && !noisy {
-		gates = s.fuseSingleQubitRuns(gates)
-	}
-	for _, g := range gates {
-		switch g.Name {
-		case circuit.OpMeasure:
-			q := g.Qubits[0]
-			b := st.MeasureQubit(q, s.rng)
-			if noisy && s.Noise.ReadoutError > 0 && s.rng.Float64() < s.Noise.ReadoutError {
-				b ^= 1
-			}
-			bits[q] = b
-		case circuit.OpMeasureAll:
-			for q := 0; q < c.NumQubits; q++ {
-				b := st.MeasureQubit(q, s.rng)
-				if noisy && s.Noise.ReadoutError > 0 && s.rng.Float64() < s.Noise.ReadoutError {
-					b ^= 1
-				}
-				bits[q] = b
-			}
-		case circuit.OpPrepZ:
-			q := g.Qubits[0]
-			if st.MeasureQubit(q, s.rng) == 1 {
-				st.ApplyOne(quantum.X, q)
-			}
-		case circuit.OpBarrier, circuit.OpWait, circuit.OpDisplay:
-			// No quantum effect; decoherence during explicit waits.
-			if noisy && g.Name == circuit.OpWait && len(g.Params) > 0 {
-				cycles := g.Params[0]
-				for q := 0; q < c.NumQubits; q++ {
-					for k := 0.0; k < cycles; k++ {
-						s.applyDecoherence(st, q)
-					}
-				}
-			}
-		case fusedGateName:
-			st.Apply(s.fused[int(g.Params[0])], g.Qubits...)
-		default:
-			// Classically-controlled gates (feed-forward) fire only when
-			// the referenced measurement bit is 1.
-			if g.HasCond && bits[g.CondBit] != 1 {
-				continue
-			}
-			m, err := g.Matrix()
-			if err != nil {
-				return nil, injected, err
-			}
-			st.Apply(m, g.Qubits...)
-			if noisy {
-				injected += s.applyGateNoise(st, g)
-			}
-		}
-	}
-	return bits, injected, nil
-}
-
-// applyGateNoise inserts the error channels that follow a gate in
-// realistic mode and returns the number of discrete Pauli errors injected.
-func (s *Simulator) applyGateNoise(st *quantum.State, g circuit.Gate) int {
-	p := s.Noise.DepolarizingProb
-	if len(g.Qubits) >= 2 {
-		p = s.Noise.TwoQubitDepolarizingProb
-	}
-	injected := 0
-	for _, q := range g.Qubits {
-		if applyPauliError(st, q, p, s.rng) {
-			injected++
-		}
-		s.applyDecoherence(st, q)
-	}
-	return injected
-}
-
-func (s *Simulator) applyDecoherence(st *quantum.State, q int) {
-	if gamma := s.Noise.ampDampingGamma(); gamma > 0 {
-		applyAmplitudeDamping(st, q, gamma, s.rng)
-	}
-	if lambda := s.Noise.dephasingLambda(); lambda > 0 {
-		applyDephasing(st, q, lambda, s.rng)
-	}
-}
-
-func (s *Simulator) applyReadoutError(idx, n int) int {
-	if s.Noise.IsZero() || s.Noise.ReadoutError == 0 {
-		return idx
-	}
-	for q := 0; q < n; q++ {
-		if s.rng.Float64() < s.Noise.ReadoutError {
-			idx ^= 1 << uint(q)
-		}
-	}
-	return idx
-}
-
-func circuitMeasures(c *circuit.Circuit) bool {
-	for _, g := range c.Gates {
-		if g.Name == circuit.OpMeasure || g.Name == circuit.OpMeasureAll {
-			return true
-		}
-	}
-	return false
-}
-
-// fusedGateName marks a synthetic gate produced by fusion; Params[0]
-// indexes the simulator's fused-matrix table, which is rebuilt per
-// execution.
-const fusedGateName = "__fused"
-
-// fuseSingleQubitRuns merges consecutive single-qubit unitaries acting on
-// the same qubit into one matrix. This is the gate-fusion optimisation
-// benchmarked in the ablation suite.
-func (s *Simulator) fuseSingleQubitRuns(gates []circuit.Gate) []circuit.Gate {
-	s.fused = s.fused[:0]
-	out := make([]circuit.Gate, 0, len(gates))
-	i := 0
-	for i < len(gates) {
-		g := gates[i]
-		if !g.IsUnitary() || len(g.Qubits) != 1 || g.HasCond {
-			out = append(out, g)
-			i++
-			continue
-		}
-		// Collect the run of single-qubit gates on this qubit.
-		q := g.Qubits[0]
-		m, _ := g.Matrix()
-		j := i + 1
-		for j < len(gates) {
-			nx := gates[j]
-			if !nx.IsUnitary() || len(nx.Qubits) != 1 || nx.Qubits[0] != q || nx.HasCond {
-				break
-			}
-			nm, _ := nx.Matrix()
-			m = nm.Mul(m)
-			j++
-		}
-		if j == i+1 {
-			out = append(out, g)
-		} else {
-			s.fused = append(s.fused, m)
-			out = append(out, circuit.Gate{
-				Name:   fusedGateName,
-				Qubits: []int{q},
-				Params: []float64{float64(len(s.fused) - 1)},
-			})
-		}
-		i = j
-	}
-	return out
 }
