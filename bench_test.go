@@ -610,6 +610,43 @@ func BenchmarkEngineParallelVsSerial(b *testing.B) {
 	}
 }
 
+// E19 — the pass-manager compile path (ISSUE 3): the default pipeline on
+// the superconducting platform with Surface-17 topology routing
+// (lookahead on), so compile-path regressions show up in the CI
+// bench-smoke step. The per-pass breakdown from the compile report is
+// printed once — the hot-path visibility the pass manager adds.
+func BenchmarkCompilePipeline(b *testing.B) {
+	qft := circuit.QFT(8, true)
+	prog := openql.NewProgram("qft8", 8)
+	k := openql.NewKernel("qft", 8)
+	for _, g := range qft.Gates {
+		k.Gate(g.Name, g.Qubits, g.Params...)
+	}
+	for q := 0; q < 8; q++ {
+		k.Measure(q)
+	}
+	prog.AddKernel(k)
+	opts := openql.CompileOptions{
+		Mode:     openql.RealisticQubits,
+		Platform: compiler.Superconducting(),
+		Optimize: true,
+		Mapping:  compiler.MapOptions{Lookahead: true},
+	}
+	var compiled *openql.Compiled
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compiled, err = prog.Compile(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(compiled.Circuit.Gates)), "gates")
+	report("E19 pass-manager compile pipeline (QFT-8 on Surface-17, lookahead routing)",
+		compiled.Report.String())
+}
+
 // E17 — the qserv service layer (ISSUE 1): cold compile versus the
 // compiled-circuit cache on resubmission. The cached path skips
 // decomposition, optimisation, Surface-17 mapping, scheduling and eQASM

@@ -1,22 +1,28 @@
-// Command openqlc is the quantum compiler driver: it reads cQASM,
-// decomposes to a platform's primitive gate set, optimises, maps to the
-// qubit-plane topology, schedules, and emits cQASM or eQASM — the §2.4
-// compiler flow as a tool.
+// Command openqlc is the quantum compiler driver: it reads cQASM and runs
+// the pass-manager pipeline — decompose to a platform's primitive gate
+// set, optimise, map to the qubit-plane topology, lower routing SWAPs,
+// schedule, assemble — emitting cQASM or eQASM, with a per-pass report of
+// wall time, gate count and depth. The §2.4 compiler flow as a tool.
 //
 // Usage:
 //
 //	openqlc [-platform name|-config file.json] [-emit cqasm|eqasm]
-//	        [-schedule asap|alap] [-opt] [-lookahead] file.cq
+//	        [-schedule asap|alap] [-opt] [-lookahead] [-passes spec] file.cq
+//
+// The -passes spec selects a custom pipeline from the registered passes
+// (e.g. "decompose,fold-rotations,optimize,map,lower-swaps,schedule");
+// it must include "schedule", and "assemble" when emitting eQASM.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/compiler"
 	"repro/internal/cqasm"
-	"repro/internal/eqasm"
+	"repro/internal/openql"
 )
 
 func main() {
@@ -24,9 +30,12 @@ func main() {
 	configPath := flag.String("config", "", "platform JSON config (overrides -platform)")
 	emit := flag.String("emit", "cqasm", "output format: cqasm or eqasm")
 	schedule := flag.String("schedule", "asap", "scheduling policy: asap or alap")
-	opt := flag.Bool("opt", true, "run the peephole optimiser")
+	opt := flag.Bool("opt", true, "run the peephole optimiser (default pipeline only)")
 	lookahead := flag.Bool("lookahead", false, "use lookahead routing")
-	stats := flag.Bool("stats", true, "print compilation statistics to stderr")
+	passes := flag.String("passes", "",
+		"comma-separated pass pipeline (default: the standard flow; available: "+
+			strings.Join(compiler.PassNames(), ", ")+")")
+	stats := flag.Bool("stats", true, "print per-pass compilation statistics to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: openqlc [flags] file.cq")
@@ -63,59 +72,58 @@ func main() {
 		fatal(fmt.Errorf("unknown platform %q", *platformName))
 	}
 
-	dec, err := compiler.Decompose(c, platform)
-	if err != nil {
-		fatal(err)
-	}
-	if *opt {
-		dec = compiler.Optimize(dec)
-	}
-	var mapped = dec
-	if platform.Topology != nil {
-		mr, err := compiler.MapCircuit(dec, platform, compiler.MapOptions{Lookahead: *lookahead})
-		if err != nil {
-			fatal(err)
-		}
-		mapped = mr.Circuit
-		if !platform.Supports("swap") {
-			mapped, err = compiler.Decompose(mapped, platform)
-			if err != nil {
-				fatal(err)
-			}
-			if *opt {
-				mapped = compiler.Optimize(mapped)
-			}
-		}
-		if *stats {
-			fmt.Fprintf(os.Stderr, "mapping: %d swaps inserted, latency factor %.2f\n",
-				mr.AddedSwaps, mr.LatencyFactor)
-		}
-	}
 	policy := compiler.ASAP
 	if *schedule == "alap" {
 		policy = compiler.ALAP
 	}
-	sched, err := compiler.ScheduleCircuit(mapped, platform, policy)
+	// eQASM emission needs the assemble pass, which only runs for
+	// realistic targets.
+	mode := openql.PerfectQubits
+	if *emit == "eqasm" {
+		mode = openql.RealisticQubits
+	}
+
+	prog := openql.ProgramFromCircuit(circuitName(c.Name, flag.Arg(0)), c)
+	compiled, err := prog.Compile(openql.CompileOptions{
+		Mode:     mode,
+		Platform: platform,
+		Optimize: *opt,
+		Policy:   policy,
+		Mapping:  compiler.MapOptions{Lookahead: *lookahead},
+		Passes:   *passes,
+	})
 	if err != nil {
 		fatal(err)
 	}
+
 	if *stats {
+		fmt.Fprint(os.Stderr, compiled.Report.String())
+		if compiled.MapResult != nil {
+			fmt.Fprintf(os.Stderr, "mapping: %d swaps inserted, latency factor %.2f\n",
+				compiled.MapResult.AddedSwaps, compiled.MapResult.LatencyFactor)
+		}
 		fmt.Fprintf(os.Stderr, "schedule: %d gates, makespan %d cycles (%d ns)\n",
-			len(sched.Gates), sched.Makespan, sched.Makespan*platform.CycleTimeNs)
+			len(compiled.Schedule.Gates), compiled.Schedule.Makespan,
+			compiled.Schedule.Makespan*platform.CycleTimeNs)
 	}
 
 	switch *emit {
 	case "cqasm":
-		fmt.Print(cqasm.PrintCircuit(mapped))
+		fmt.Print(compiled.CQASM)
 	case "eqasm":
-		prog, err := eqasm.Assemble(sched, platform)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(prog.String())
+		fmt.Print(compiled.EQASM.String())
 	default:
 		fatal(fmt.Errorf("unknown emit format %q", *emit))
 	}
+}
+
+// circuitName labels the program after its source: the circuit name when
+// the cQASM declared one, else the input file.
+func circuitName(name, path string) string {
+	if name != "" && name != "cqasm" {
+		return name
+	}
+	return strings.TrimSuffix(path, ".cq")
 }
 
 func fatal(err error) {

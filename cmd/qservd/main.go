@@ -6,15 +6,22 @@
 //
 // Usage:
 //
-//	qservd [-addr :8080] [-qubits 10] [-workers 2] [-queue 256] [-cache 512] [-shots 1024] [-seed 1] [-engine optimized]
+//	qservd [-addr :8080] [-qubits 10] [-workers 2] [-queue 256] [-cache 512] [-shots 1024] [-seed 1] [-engine optimized] [-passes spec]
 //
 // API:
 //
 //	POST /submit        {"cqasm": "...", "backend": "perfect", "shots": 1024}
+//	                    {"cqasm": "...", "passes": "decompose,optimize,map,lower-swaps,schedule,assemble"}
 //	                    {"qubo": {"n": 3, "terms": [{"i":0,"j":0,"v":-1}]}, "backend": "annealer"}
-//	GET  /jobs/{id}     job status and result; ?wait=2s long-polls
-//	GET  /stats         queue depth, per-backend throughput, cache hit rate
+//	GET  /jobs/{id}     job status, result, and the per-pass compile report
+//	GET  /stats         queue depth, per-backend throughput and per-pass
+//	                    compile time, cache hit rate
 //	GET  /healthz       liveness probe
+//
+// The optional "passes" field selects the compiler pass pipeline per job
+// (it keys the compile cache, so jobs with different pipelines never
+// share compiled artefacts); -passes sets the default for every gate
+// stack. Unknown pass names are rejected at submit time.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/compiler"
 	"repro/internal/qserv"
 	"repro/internal/qx"
 )
@@ -42,9 +50,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed for per-job seed derivation")
 	engine := flag.String("engine", qx.DefaultEngine,
 		"qx execution engine for the gate stacks: "+strings.Join(qx.EngineNames(), ", "))
+	passes := flag.String("passes", "",
+		"default compiler pass pipeline for the gate stacks (available: "+
+			strings.Join(compiler.PassNames(), ", ")+"); empty selects the standard flow")
 	flag.Parse()
 	if _, err := qx.EngineByName(*engine); err != nil {
 		log.Fatalf("qservd: %v", err)
+	}
+	if *passes != "" {
+		if _, err := compiler.ParsePassSpec(*passes); err != nil {
+			log.Fatalf("qservd: %v", err)
+		}
 	}
 
 	svc := qserv.DefaultService(qserv.Config{
@@ -54,6 +70,7 @@ func main() {
 		CacheSize:      *cache,
 		Seed:           *seed,
 		Engine:         *engine,
+		Passes:         *passes,
 	}, *qubits, *workers)
 	svc.Start()
 

@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	qx [-shots N] [-seed S] [-engine E] [-parallel W] [-depolarizing P] [-readout P] [-state] file.cq
+//	qx [-shots N] [-seed S] [-engine E] [-parallel W] [-passes spec] [-depolarizing P] [-readout P] [-state] file.cq
+//
+// With -passes the circuit first runs through the compiler pass pipeline
+// (perfect-qubit target) and the per-pass report — wall time, gate
+// count, depth — is printed to stderr before execution; without it the
+// circuit executes as written.
 package main
 
 import (
@@ -12,7 +17,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/compiler"
 	"repro/internal/cqasm"
+	"repro/internal/openql"
 	"repro/internal/qx"
 )
 
@@ -23,6 +30,9 @@ func main() {
 		"execution engine: "+strings.Join(qx.EngineNames(), ", "))
 	parallel := flag.Int("parallel", 0,
 		"shot-batch workers (>1 fans shots across goroutines; 0/1 serial)")
+	passes := flag.String("passes", "",
+		"compile through this pass pipeline before executing (available: "+
+			strings.Join(compiler.PassNames(), ", ")+"); empty runs the circuit as written")
 	depol := flag.Float64("depolarizing", 0, "per-gate depolarizing probability (realistic qubits)")
 	readout := flag.Float64("readout", 0, "readout flip probability")
 	showState := flag.Bool("state", false, "print the final state vector (perfect, measurement-free circuits)")
@@ -39,6 +49,19 @@ func main() {
 	c, err := cqasm.ParseToCircuit(string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if *passes != "" {
+		prog := openql.ProgramFromCircuit("qx", c)
+		compiled, err := prog.Compile(openql.CompileOptions{
+			Mode:     openql.PerfectQubits,
+			Platform: compiler.Perfect(c.NumQubits),
+			Passes:   *passes,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(os.Stderr, compiled.Report.String())
+		c = compiled.Circuit
 	}
 	engine, err := qx.EngineByName(*engineName)
 	if err != nil {

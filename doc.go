@@ -4,15 +4,29 @@
 //
 // The stack spans every layer of the paper: the OpenQL-style programming
 // API (internal/openql), the cQASM common assembly (internal/cqasm), the
-// compiler with decomposition/optimisation/mapping/scheduling
-// (internal/compiler), the eQASM executable ISA (internal/eqasm), the
-// micro-architecture with microcode, timing control and queues
-// (internal/microarch), and the QX simulator with perfect and realistic
-// qubits (internal/qx). On top sit the paper's three accelerators:
-// the superconducting control stack (internal/core, internal/rb),
-// quantum genome sequencing (internal/genome, internal/qam,
+// pass-manager compiler (internal/compiler), the eQASM executable ISA
+// (internal/eqasm), the micro-architecture with microcode, timing control
+// and queues (internal/microarch), and the QX simulator with perfect and
+// realistic qubits (internal/qx). On top sit the paper's three
+// accelerators: the superconducting control stack (internal/core,
+// internal/rb), quantum genome sequencing (internal/genome, internal/qam,
 // internal/grover), and hybrid optimisation (internal/tsp, internal/qubo,
 // internal/anneal, internal/embed, internal/qaoa).
+//
+// The compiler is a configurable pass pipeline rather than a hard-wired
+// sequence: compiler.Pass instances (decompose, optimize, map,
+// lower-swaps, optimize-lowered, fold-rotations, schedule, assemble,
+// plus anything registered via compiler.RegisterPass) execute over a shared
+// compiler.PassContext under a compiler.Pipeline, which records a
+// CompileReport of per-pass wall time, gate count, depth and added SWAPs.
+// openql.Program.Compile runs the default pipeline — reproducing the
+// classic decompose/optimize/map/schedule flow gate for gate, enforced by
+// a differential test — and a pass spec string selects custom pipelines
+// end to end: openql.CompileOptions.Passes, core.Stack.Passes (part of
+// the compile fingerprint, so the qserv compile cache keys on it),
+// per-job "passes" in the qserv API, and -passes flags on cmd/qx,
+// cmd/qservd and cmd/openqlc. Per-pass metrics surface in core.Report,
+// qserv job views and /stats, and the CLI pass reports.
 //
 // The execution layer itself is pluggable: internal/qx defines an Engine
 // interface — execute a compiled circuit into sampled counts or a final

@@ -1,0 +1,105 @@
+package compiler
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// FoldRotations merges z-axis rotations separated by gates they commute
+// with — a commutation-aware optimisation strictly stronger than the
+// peephole rotation merge, which stops at the first intervening gate on
+// the same qubit. An rz commutes with every computational-basis-diagonal
+// gate on its qubit (z, s, t, rz, cz, cphase, crz and their inverses) and
+// with a CNOT that uses the qubit as control, so patterns like
+//
+//	rz q[0]; cnot q[0], q[1]; rz q[0]
+//
+// fold into one rotation. Folding runs to a fixpoint together with
+// zero-angle removal; the input circuit is not modified.
+func FoldRotations(c *circuit.Circuit) *circuit.Circuit {
+	gates := make([]circuit.Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		gates[i] = g.Clone()
+	}
+	removed := make([]bool, len(gates))
+	for i := 0; i < len(gates); i++ {
+		if removed[i] || gates[i].Name != "rz" || gates[i].HasCond {
+			continue
+		}
+		q := gates[i].Qubits[0]
+	scan:
+		for j := i + 1; j < len(gates); j++ {
+			if removed[j] {
+				continue
+			}
+			o := gates[j]
+			switch o.Name {
+			case circuit.OpBarrier, circuit.OpMeasureAll:
+				break scan
+			}
+			if !gateTouches(o, q) {
+				continue
+			}
+			// Conditional gates fire data-dependently; treat them as
+			// commutation barriers on their qubits.
+			if o.HasCond {
+				break
+			}
+			if o.Name == "rz" && o.Qubits[0] == q {
+				gates[i].Params[0] += o.Params[0]
+				removed[j] = true
+				continue
+			}
+			if !commutesWithRZ(o, q) {
+				break
+			}
+		}
+	}
+	out := circuit.New(c.Name, c.NumQubits)
+	for i, g := range gates {
+		if removed[i] {
+			continue
+		}
+		if g.Name == "rz" && !g.HasCond && math.Abs(normalizeAngle(g.Params[0])) < 1e-12 {
+			continue
+		}
+		out.AddGate(g)
+	}
+	return out
+}
+
+// zDiagonalGates are unitaries diagonal in the computational basis: they
+// commute with rz on any of their qubits.
+var zDiagonalGates = map[string]bool{
+	"i": true, "z": true, "s": true, "sdag": true, "t": true, "tdag": true,
+	"rz": true, "phase": true, "cz": true, "cphase": true, "crz": true,
+}
+
+// commutesWithRZ reports whether gate o commutes with an rz on qubit q
+// (o is known to touch q). Non-unitary operations never commute here:
+// folding a phase across a measurement would change the post-measurement
+// state seen by later gates.
+func commutesWithRZ(o circuit.Gate, q int) bool {
+	if !o.IsUnitary() {
+		return false
+	}
+	if zDiagonalGates[o.Name] {
+		return true
+	}
+	// CNOT is diagonal on its control: |0⟩⟨0|⊗I + |1⟩⟨1|⊗X.
+	if o.Name == "cnot" && o.Qubits[0] == q {
+		return true
+	}
+	return false
+}
+
+// gateTouches reports whether the gate operates on qubit q.
+func gateTouches(g circuit.Gate, q int) bool {
+	for _, gq := range g.Qubits {
+		if gq == q {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package compiler
+
+// Built-in passes: the classic decompose/optimize/map/schedule stages of
+// the hard-wired compiler, each wrapped as a registry entry so pipelines
+// can reorder, repeat or omit them per compilation.
+
+import "fmt"
+
+func init() {
+	RegisterPass(NewPass("decompose", runDecompose))
+	RegisterPass(NewPass("optimize", runOptimize))
+	RegisterPass(NewPass("map", runMap))
+	RegisterPass(NewPass("lower-swaps", runLowerSwaps))
+	RegisterPass(NewPass("optimize-lowered", runOptimizeLowered))
+	RegisterPass(NewPass("fold-rotations", runFoldRotations))
+	RegisterPass(NewPass("schedule", runSchedule))
+	RegisterPass(NewPass("assemble", runAssemble))
+}
+
+// runDecompose rewrites every gate the platform does not support natively
+// into supported primitives.
+func runDecompose(ctx *PassContext) error {
+	c, err := Decompose(ctx.Circuit, ctx.Platform)
+	if err != nil {
+		return err
+	}
+	ctx.Circuit = c
+	return nil
+}
+
+// runOptimize applies the peephole trio (pair cancellation, rotation
+// merging, identity removal) to a fixpoint.
+func runOptimize(ctx *PassContext) error {
+	ctx.Circuit = Optimize(ctx.Circuit)
+	return nil
+}
+
+// runFoldRotations applies the commutation-aware z-rotation folding pass.
+func runFoldRotations(ctx *PassContext) error {
+	ctx.Circuit = FoldRotations(ctx.Circuit)
+	return nil
+}
+
+// runMap places logical qubits onto the platform topology and routes
+// two-qubit gates with SWAP chains. All-to-all targets skip the pass
+// entirely (MapResult stays nil), preserving the classic compiler's
+// behaviour of mapping only constrained topologies.
+func runMap(ctx *PassContext) error {
+	if ctx.Platform.Topology == nil {
+		return nil
+	}
+	mr, err := MapCircuit(ctx.Circuit, ctx.Platform, ctx.Mapping)
+	if err != nil {
+		return err
+	}
+	ctx.MapResult = mr
+	ctx.Circuit = mr.Circuit
+	return nil
+}
+
+// runLowerSwaps decomposes the SWAPs inserted by routing into platform
+// primitives. The decomposition acts on the same adjacent pair, so the
+// nearest-neighbour constraint is preserved. A no-op before mapping or on
+// platforms with a native swap.
+func runLowerSwaps(ctx *PassContext) error {
+	if ctx.MapResult == nil || ctx.Platform.Supports("swap") {
+		return nil
+	}
+	c, err := Decompose(ctx.Circuit, ctx.Platform)
+	if err != nil {
+		return err
+	}
+	ctx.Circuit = c
+	ctx.SwapsLowered = true
+	return nil
+}
+
+// runOptimizeLowered re-runs the peephole optimiser, but only when a
+// preceding lower-swaps pass actually lowered routing SWAPs — the classic
+// compiler re-optimised exactly the lowered SWAP chains, and on targets
+// with a native swap (or no topology) it left the routed circuit alone.
+func runOptimizeLowered(ctx *PassContext) error {
+	if !ctx.SwapsLowered {
+		return nil
+	}
+	ctx.Circuit = Optimize(ctx.Circuit)
+	return nil
+}
+
+// runSchedule assigns start cycles under the platform's gate durations
+// and control-channel limits.
+func runSchedule(ctx *PassContext) error {
+	sched, err := ScheduleCircuit(ctx.Circuit, ctx.Platform, ctx.Policy)
+	if err != nil {
+		return err
+	}
+	ctx.Schedule = sched
+	return nil
+}
+
+// runAssemble lowers the scheduled circuit to the target's executable
+// form through the injected Assembler (eQASM for realistic stacks). A
+// no-op on perfect targets, which execute cQASM directly, so one
+// pipeline spec serves both qubit modes.
+func runAssemble(ctx *PassContext) error {
+	if !ctx.Assemble {
+		return nil
+	}
+	if ctx.Assembler == nil {
+		return fmt.Errorf("no assembler injected for an assembly-enabled target")
+	}
+	if ctx.Schedule == nil {
+		return fmt.Errorf("assemble requires a schedule; put the \"schedule\" pass first")
+	}
+	return ctx.Assembler(ctx)
+}

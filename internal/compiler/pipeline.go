@@ -1,0 +1,262 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+)
+
+// Pass is one retargetable stage of the compiler pipeline (Fig 4): it
+// reads and rewrites the artefacts carried by a PassContext. Passes must
+// be stateless — one registered instance is shared by every concurrent
+// compilation — with all per-run configuration read from the context.
+type Pass interface {
+	Name() string
+	Run(ctx *PassContext) error
+}
+
+// PassContext carries the artefacts a compilation accumulates as it moves
+// down the pipeline: the circuit being rewritten plus the mapping,
+// schedule and assembly outputs, alongside the immutable target
+// configuration the passes read.
+type PassContext struct {
+	// Platform is the compilation target; never nil.
+	Platform *Platform
+	// Mapping configures the map pass.
+	Mapping MapOptions
+	// Policy configures the schedule pass.
+	Policy Policy
+	// Assemble enables target-assembly passes (realistic targets); when
+	// false the assemble pass is a no-op, matching perfect-qubit targets
+	// that execute cQASM directly.
+	Assemble bool
+	// Assembler lowers the scheduled circuit to the target's executable
+	// form, storing the result in Assembled. It is injected by the layer
+	// that owns the assembly format — the openql layer injects eQASM
+	// assembly, which sits above this package in the import graph.
+	Assembler func(*PassContext) error
+	// ProgramName labels assembly output.
+	ProgramName string
+
+	// Circuit is the gate stream being rewritten; every pass leaves it
+	// valid for the next.
+	Circuit *circuit.Circuit
+	// MapResult is set by the map pass (nil for all-to-all targets).
+	MapResult *MapResult
+	// SwapsLowered is set by the lower-swaps pass when it decomposed
+	// routing SWAPs; optimize-lowered keys off it.
+	SwapsLowered bool
+	// Schedule is set by the schedule pass.
+	Schedule *Schedule
+	// Assembled holds the output of assembly passes registered from
+	// higher layers (the openql layer's "assemble" pass stores an
+	// *eqasm.Program); the compiler core never inspects it.
+	Assembled any
+}
+
+// passFunc adapts a function to the Pass interface for the built-ins.
+type passFunc struct {
+	name string
+	fn   func(ctx *PassContext) error
+}
+
+func (p passFunc) Name() string               { return p.name }
+func (p passFunc) Run(ctx *PassContext) error { return p.fn(ctx) }
+
+// NewPass wraps a named function as a Pass.
+func NewPass(name string, fn func(ctx *PassContext) error) Pass {
+	return passFunc{name: name, fn: fn}
+}
+
+var (
+	passMu       sync.RWMutex
+	passRegistry = map[string]Pass{}
+)
+
+// RegisterPass adds a pass to the named-pass registry, making it
+// selectable in pass specs. It panics on a duplicate or empty name;
+// registration happens at init time.
+func RegisterPass(p Pass) {
+	name := p.Name()
+	if name == "" || strings.ContainsAny(name, ", \t\n") {
+		panic(fmt.Sprintf("compiler: invalid pass name %q", name))
+	}
+	passMu.Lock()
+	defer passMu.Unlock()
+	if _, dup := passRegistry[name]; dup {
+		panic(fmt.Sprintf("compiler: duplicate pass %q", name))
+	}
+	passRegistry[name] = p
+}
+
+// PassByName looks a pass up in the registry.
+func PassByName(name string) (Pass, bool) {
+	passMu.RLock()
+	defer passMu.RUnlock()
+	p, ok := passRegistry[name]
+	return p, ok
+}
+
+// PassNames returns the sorted names of every registered pass.
+func PassNames() []string {
+	passMu.RLock()
+	defer passMu.RUnlock()
+	out := make([]string, 0, len(passRegistry))
+	for name := range passRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParsePassSpec resolves a comma-separated pass spec (e.g.
+// "decompose,optimize,map,schedule") against the registry. Unknown or
+// empty pass names are rejected with the available names listed, so a bad
+// spec fails at parse time, not mid-compilation.
+func ParsePassSpec(spec string) ([]Pass, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("compiler: empty pass spec (available passes: %s)",
+			strings.Join(PassNames(), ", "))
+	}
+	var passes []Pass
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("compiler: empty pass name in spec %q", spec)
+		}
+		p, ok := PassByName(name)
+		if !ok {
+			return nil, fmt.Errorf("compiler: unknown pass %q in spec %q (available: %s)",
+				name, spec, strings.Join(PassNames(), ", "))
+		}
+		passes = append(passes, p)
+	}
+	return passes, nil
+}
+
+// DefaultPassSpec returns the pass sequence equivalent to the classic
+// hard-wired compiler flow: decompose to primitives, (optionally)
+// optimise, map to the topology, lower routing SWAPs to primitives,
+// re-optimise the lowered SWAP chains (optimize-lowered no-ops when
+// lower-swaps had nothing to do, exactly like the classic flow),
+// schedule, assemble.
+func DefaultPassSpec(optimize bool) string {
+	if optimize {
+		return "decompose,optimize,map,lower-swaps,optimize-lowered,schedule,assemble"
+	}
+	return "decompose,map,lower-swaps,schedule,assemble"
+}
+
+// PassMetrics records one pass execution: wall time plus the circuit-size
+// observables that make compile-path hot spots and pass effectiveness
+// visible.
+type PassMetrics struct {
+	Pass        string `json:"pass"`
+	WallNs      int64  `json:"wall_ns"`
+	GatesBefore int    `json:"gates_before"`
+	GatesAfter  int    `json:"gates_after"`
+	DepthBefore int    `json:"depth_before"`
+	DepthAfter  int    `json:"depth_after"`
+	// AddedSwaps is the number of routing SWAPs the pass inserted
+	// (nonzero only for mapping passes).
+	AddedSwaps int `json:"added_swaps,omitempty"`
+}
+
+// CompileReport is the per-pass account of one pipeline execution.
+type CompileReport struct {
+	PassSpec string        `json:"pass_spec"`
+	Passes   []PassMetrics `json:"passes"`
+	TotalNs  int64         `json:"total_ns"`
+}
+
+// String renders the report as an aligned table, one row per pass.
+func (r *CompileReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %14s %14s %6s\n", "pass", "time", "gates", "depth", "swaps")
+	for _, m := range r.Passes {
+		swaps := "-"
+		if m.AddedSwaps > 0 {
+			swaps = fmt.Sprintf("%d", m.AddedSwaps)
+		}
+		fmt.Fprintf(&b, "%-16s %12s %14s %14s %6s\n",
+			m.Pass, time.Duration(m.WallNs).String(),
+			fmt.Sprintf("%d → %d", m.GatesBefore, m.GatesAfter),
+			fmt.Sprintf("%d → %d", m.DepthBefore, m.DepthAfter),
+			swaps)
+	}
+	fmt.Fprintf(&b, "%-16s %12s\n", "total", time.Duration(r.TotalNs).String())
+	return b.String()
+}
+
+// Pipeline is an ordered, named pass list — the configurable compiler of
+// the pass-manager architecture. Build one with NewPipeline and execute
+// it with Run; a Pipeline is immutable and safe for concurrent Run calls
+// on distinct contexts.
+type Pipeline struct {
+	Spec   string
+	passes []Pass
+}
+
+// NewPipeline parses a pass spec into an executable pipeline.
+func NewPipeline(spec string) (*Pipeline, error) {
+	passes, err := ParsePassSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Spec: spec, passes: passes}, nil
+}
+
+// Passes returns the pipeline's pass names in execution order.
+func (pl *Pipeline) Passes() []string {
+	out := make([]string, len(pl.passes))
+	for i, p := range pl.passes {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// Run executes the pipeline over the context, recording per-pass wall
+// time, gate count, depth and added SWAPs. On error it reports which pass
+// failed.
+func (pl *Pipeline) Run(ctx *PassContext) (*CompileReport, error) {
+	if ctx.Platform == nil {
+		return nil, fmt.Errorf("compiler: pipeline %q run without a platform", pl.Spec)
+	}
+	if ctx.Circuit == nil {
+		return nil, fmt.Errorf("compiler: pipeline %q run without a circuit", pl.Spec)
+	}
+	report := &CompileReport{PassSpec: pl.Spec, Passes: make([]PassMetrics, 0, len(pl.passes))}
+	// Nothing mutates the circuit between passes, so each pass's before
+	// metrics are the previous pass's after metrics — one depth scan per
+	// pass instead of two on this instrumented hot path.
+	gates, depth := len(ctx.Circuit.Gates), ctx.Circuit.Depth()
+	for _, p := range pl.passes {
+		m := PassMetrics{
+			Pass:        p.Name(),
+			GatesBefore: gates,
+			DepthBefore: depth,
+		}
+		swapsBefore := 0
+		if ctx.MapResult != nil {
+			swapsBefore = ctx.MapResult.AddedSwaps
+		}
+		start := time.Now()
+		if err := p.Run(ctx); err != nil {
+			return nil, fmt.Errorf("compiler: pass %q: %w", p.Name(), err)
+		}
+		m.WallNs = time.Since(start).Nanoseconds()
+		gates, depth = len(ctx.Circuit.Gates), ctx.Circuit.Depth()
+		m.GatesAfter = gates
+		m.DepthAfter = depth
+		if ctx.MapResult != nil {
+			m.AddedSwaps = ctx.MapResult.AddedSwaps - swapsBefore
+		}
+		report.TotalNs += m.WallNs
+		report.Passes = append(report.Passes, m)
+	}
+	return report, nil
+}

@@ -29,6 +29,11 @@ type Stack struct {
 	Optimize bool
 	Policy   compiler.Policy
 	Mapping  compiler.MapOptions
+	// Passes is a comma-separated compiler pass spec overriding the
+	// default pipeline (see openql.CompileOptions.Passes); empty selects
+	// the default derived from Optimize. Part of CompileFingerprint: two
+	// stacks with different pass specs compile differently.
+	Passes string
 	// Engine names the qx execution engine backing the stack ("reference",
 	// "optimized"); empty selects the qx default. Part of Fingerprint.
 	Engine string
@@ -123,6 +128,10 @@ type Report struct {
 	Trace    *microarch.Trace    // nil for perfect stacks
 	Schedule *compiler.Schedule  // timed program
 	Mapping  *compiler.MapResult // nil without topology
+	// Compile is the per-pass account of the compile pipeline that
+	// produced the executed circuit (shared with the cached artefact;
+	// treat as immutable).
+	Compile *compiler.CompileReport
 	// WallNs is the modelled execution time of one shot in nanoseconds.
 	WallNs int
 }
@@ -152,6 +161,7 @@ func (s *Stack) Compile(p *openql.Program) (*openql.Compiled, error) {
 		Optimize: s.Optimize,
 		Policy:   s.Policy,
 		Mapping:  s.Mapping,
+		Passes:   s.Passes,
 	})
 }
 
@@ -172,6 +182,7 @@ func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int,
 		CQASM:    compiled.CQASM,
 		Schedule: compiled.Schedule,
 		Mapping:  compiled.MapResult,
+		Compile:  compiled.Report,
 		WallNs:   compiled.Schedule.Makespan * s.Platform.CycleTimeNs,
 	}
 	parallel := shots >= s.parallelShotThreshold()
@@ -227,11 +238,24 @@ func (s *Stack) Fingerprint() string {
 // never change them — so this is the stack half of a compiled-circuit
 // cache key (seed, noise and engine are deliberately excluded: they
 // affect execution, not compilation, and keying the cache on them would
-// recompile identical programs).
+// recompile identical programs). Every compile-relevant field is spelled
+// out explicitly: a new MapOptions member must be added here by hand, so
+// it can never silently alias cache keys the way reflective %+v
+// formatting could drop it. The pass spec is canonicalised — an empty
+// Passes resolves to the default pipeline for Optimize, and Optimize
+// itself only enters through that resolution — so a stack configured
+// with the literal default spec shares cache entries with one configured
+// with none.
 func (s *Stack) CompileFingerprint() string {
-	return fmt.Sprintf("%s|%s|%s|q%d|opt=%v|%s|map=%+v",
+	passes := s.Passes
+	if passes == "" {
+		passes = compiler.DefaultPassSpec(s.Optimize)
+	}
+	return fmt.Sprintf("%s|%s|%s|q%d|sched=%s|place=%d|la=%v|law=%d|passes=%s",
 		s.Name, s.Mode, s.Platform.Name, s.Platform.NumQubits,
-		s.Optimize, s.Policy, s.Mapping)
+		s.Policy,
+		s.Mapping.Placement, s.Mapping.Lookahead, s.Mapping.LookaheadWindow,
+		passes)
 }
 
 // toLogical translates outcome bitmasks from physical qubit positions

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/compiler"
 	"repro/internal/openql"
 	"repro/internal/qx"
 )
@@ -208,5 +209,89 @@ func TestPerfectVsRealisticFidelity(t *testing.T) {
 	goodR := realistic.Result.Counts[0] + realistic.Result.Counts[15]
 	if goodR >= 400 {
 		t.Error("realistic GHZ shows no degradation")
+	}
+}
+
+// CompileFingerprint must separate every compile-relevant knob with an
+// explicit field — no two distinct configurations may alias — while
+// excluding execution-only settings (engine, seed, shots parallelism).
+func TestCompileFingerprintExplicitFields(t *testing.T) {
+	base := func() *Stack { return NewPerfect(4, 1) }
+	mutations := []struct {
+		name string
+		mut  func(s *Stack)
+	}{
+		{"optimize", func(s *Stack) { s.Optimize = !s.Optimize }},
+		{"policy", func(s *Stack) { s.Policy = compiler.ALAP }},
+		{"placement", func(s *Stack) { s.Mapping.Placement = compiler.GreedyPlacement }},
+		{"lookahead", func(s *Stack) { s.Mapping.Lookahead = true }},
+		{"lookahead-window", func(s *Stack) { s.Mapping.LookaheadWindow = 9 }},
+		{"passes", func(s *Stack) { s.Passes = "decompose,schedule" }},
+	}
+	ref := base().CompileFingerprint()
+	seen := map[string]string{"": ref}
+	for _, m := range mutations {
+		s := base()
+		m.mut(s)
+		fp := s.CompileFingerprint()
+		if fp == ref {
+			t.Errorf("%s: mutation does not change the compile fingerprint", m.name)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s aliases %q: %s", m.name, prev, fp)
+		}
+		seen[fp] = m.name
+	}
+	// Execution-only settings must NOT change the compile fingerprint —
+	// the compile cache would needlessly fragment.
+	s := base()
+	s.Engine = "reference"
+	s.Seed = 999
+	s.ParallelShots = 1
+	s.KernelWorkers = 3
+	if s.CompileFingerprint() != ref {
+		t.Error("execution-only settings leaked into the compile fingerprint")
+	}
+	if s.Fingerprint() == base().Fingerprint() {
+		t.Error("engine missing from the full fingerprint")
+	}
+	// Canonicalisation: an explicit spec equal to the resolved default
+	// must share the fingerprint (and thus cache entries) with the
+	// default-configured stack, and Optimize is irrelevant once an
+	// explicit spec overrides it.
+	c := base()
+	c.Passes = compiler.DefaultPassSpec(c.Optimize)
+	if c.CompileFingerprint() != ref {
+		t.Error("explicit default spec fragments the compile fingerprint")
+	}
+	c.Optimize = !c.Optimize
+	if c.CompileFingerprint() != ref {
+		t.Error("Optimize leaked into the fingerprint despite an explicit pass spec")
+	}
+}
+
+// Stack.Passes threads through Compile and the report carries the
+// per-pass metrics end to end.
+func TestStackPassesOption(t *testing.T) {
+	s := NewPerfect(3, 1)
+	s.Passes = "decompose,fold-rotations,optimize,schedule"
+	rep, err := s.Execute(bell(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compile == nil || rep.Compile.PassSpec != s.Passes {
+		t.Fatalf("compile report missing or wrong spec: %+v", rep.Compile)
+	}
+	if len(rep.Compile.Passes) != 4 {
+		t.Errorf("%d pass metrics, want 4", len(rep.Compile.Passes))
+	}
+
+	s.Passes = "optimize"
+	if _, err := s.Execute(bell(), 8); err == nil {
+		t.Error("schedule-less pass spec accepted")
+	}
+	s.Passes = "no-such-pass"
+	if _, err := s.Execute(bell(), 8); err == nil {
+		t.Error("unknown pass spec accepted")
 	}
 }

@@ -3,6 +3,7 @@ package cqasm
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -295,5 +296,109 @@ func TestConditionalGateErrors(t *testing.T) {
 		if _, err := Parse(src); err == nil {
 			t.Errorf("accepted %q", src)
 		}
+	}
+}
+
+// randomProgram builds a random but print-safe Program: sanitized
+// subcircuit names, iteration counts, multi-gate bundles over disjoint
+// qubits, parameterised and classically-controlled gates.
+func randomProgram(rng *rand.Rand) *Program {
+	n := 2 + rng.Intn(5)
+	p := &Program{Version: "1.0", NumQubits: n}
+	mk := func(name string, qubits []int, params ...float64) circuit.Gate {
+		g, err := circuit.NewGate(name, qubits, params...)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	randomGate := func(avoid map[int]bool) (circuit.Gate, bool) {
+		free := make([]int, 0, n)
+		for q := 0; q < n; q++ {
+			if !avoid[q] {
+				free = append(free, q)
+			}
+		}
+		rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+		angle := rng.Float64()*4*math.Pi - 2*math.Pi
+		switch k := rng.Intn(10); {
+		case k < 3 && len(free) >= 1: // plain single-qubit gate
+			names := []string{"h", "x", "y", "z", "s", "sdag", "t", "tdag"}
+			return mk(names[rng.Intn(len(names))], free[:1]), true
+		case k < 5 && len(free) >= 1: // rotation with an arbitrary float param
+			names := []string{"rx", "ry", "rz"}
+			return mk(names[rng.Intn(len(names))], free[:1], angle), true
+		case k < 7 && len(free) >= 2: // two-qubit gate
+			if rng.Intn(2) == 0 {
+				return mk("cphase", free[:2], angle), true
+			}
+			names := []string{"cnot", "cz", "swap"}
+			return mk(names[rng.Intn(len(names))], free[:2]), true
+		case k < 8 && len(free) >= 3:
+			return mk("toffoli", free[:3]), true
+		case k < 9 && len(free) >= 1: // classically-controlled gate
+			g := mk("x", free[:1])
+			g.HasCond = true
+			g.CondBit = rng.Intn(n)
+			return g, true
+		case len(free) >= 1: // non-unitary ops
+			if rng.Intn(2) == 0 {
+				return circuit.Gate{Name: circuit.OpMeasure, Qubits: free[:1]}, true
+			}
+			return circuit.Gate{Name: circuit.OpPrepZ, Qubits: free[:1]}, true
+		}
+		return circuit.Gate{}, false
+	}
+	for si, subs := 0, 1+rng.Intn(3); si < subs; si++ {
+		sub := Subcircuit{Name: "sub" + string(rune('a'+si)), Iterations: 1 + rng.Intn(3)}
+		for bi, bundles := 0, 1+rng.Intn(6); bi < bundles; bi++ {
+			var b Bundle
+			used := map[int]bool{}
+			for gi, gates := 0, 1+rng.Intn(2); gi < gates; gi++ {
+				g, ok := randomGate(used)
+				if !ok {
+					break
+				}
+				for _, q := range g.Qubits {
+					used[q] = true
+				}
+				b.Gates = append(b.Gates, g)
+			}
+			if len(b.Gates) > 0 {
+				sub.Bundles = append(sub.Bundles, b)
+			}
+		}
+		if len(sub.Bundles) > 0 {
+			p.Subcircuits = append(p.Subcircuits, sub)
+		}
+	}
+	if len(p.Subcircuits) == 0 {
+		p.Subcircuits = []Subcircuit{{Name: "main", Iterations: 1,
+			Bundles: []Bundle{{Gates: []circuit.Gate{mk("h", []int{0})}}}}}
+	}
+	return p
+}
+
+// Property: Parse(Print(p)) reproduces the same program — qubit count,
+// subcircuit names and iteration counts, bundle structure and every gate
+// (names, operands, exact float parameters, conditional bits).
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomProgram(rng)
+		text := Print(orig)
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Logf("round-trip parse failed: %v\n%s", err, text)
+			return false
+		}
+		if !reflect.DeepEqual(parsed, orig) {
+			t.Logf("round-trip mismatch:\noriginal: %+v\nparsed:   %+v\ntext:\n%s", orig, parsed, text)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
 	}
 }

@@ -202,13 +202,20 @@ func sanitize(s string) string {
 type CompileOptions struct {
 	Mode     QubitMode
 	Platform *compiler.Platform
-	// Optimize enables the peephole pass.
+	// Optimize selects the default pass pipeline with the peephole
+	// optimiser included; ignored when Passes is set.
 	Optimize bool
 	// Policy selects ASAP or ALAP scheduling.
 	Policy compiler.Policy
 	// Mapping configures placement and routing (used when the platform
 	// has a topology).
 	Mapping compiler.MapOptions
+	// Passes is a comma-separated pass spec (e.g.
+	// "decompose,optimize,map,lower-swaps,optimize-lowered,schedule,assemble")
+	// overriding the default pipeline; names must be registered with the
+	// compiler pass registry. The spec must include "schedule" (execution
+	// needs a timed circuit) and, on realistic targets, "assemble".
+	Passes string
 }
 
 // Compiled is the full output of the compiler: every intermediate
@@ -220,57 +227,70 @@ type Compiled struct {
 	Schedule  *compiler.Schedule  // timed bundles
 	EQASM     *eqasm.Program      // executable assembly (realistic targets)
 	MapResult *compiler.MapResult // routing statistics, nil for all-to-all
+	// Report records the executed pass pipeline with per-pass wall time,
+	// gate count, depth and added SWAPs.
+	Report *compiler.CompileReport
 }
 
-// Compile lowers the program for the given target: decompose to the
-// platform's primitives, optionally optimise, map to the topology,
-// schedule, and (for realistic targets) assemble eQASM.
+// assembleEQASM is the Assembler this layer injects into the pass
+// pipeline: the compiler's "assemble" pass delegates to it on realistic
+// targets (eQASM assembly sits above the compiler in the import graph).
+func assembleEQASM(ctx *compiler.PassContext) error {
+	prog, err := eqasm.Assemble(ctx.Schedule, ctx.Platform)
+	if err != nil {
+		return err
+	}
+	prog.Name = ctx.ProgramName
+	ctx.Assembled = prog
+	return nil
+}
+
+// Compile lowers the program for the given target by running a compiler
+// pass pipeline: by default decompose to the platform's primitives,
+// optionally optimise, map to the topology, lower routing SWAPs,
+// schedule, and (for realistic targets) assemble eQASM. Options.Passes
+// selects a custom pipeline from the registered passes instead.
 func (p *Program) Compile(opts CompileOptions) (*Compiled, error) {
 	if opts.Platform == nil {
 		opts.Platform = compiler.Perfect(p.NumQubits)
 	}
-	flat := p.Flatten()
-	c, err := compiler.Decompose(flat, opts.Platform)
+	spec := opts.Passes
+	if spec == "" {
+		spec = compiler.DefaultPassSpec(opts.Optimize)
+	}
+	pipeline, err := compiler.NewPipeline(spec)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Optimize {
-		c = compiler.Optimize(c)
+	ctx := &compiler.PassContext{
+		Platform:    opts.Platform,
+		Mapping:     opts.Mapping,
+		Policy:      opts.Policy,
+		Assemble:    opts.Mode == RealisticQubits,
+		Assembler:   assembleEQASM,
+		ProgramName: p.Name,
+		Circuit:     p.Flatten(),
 	}
-	out := &Compiled{Mode: opts.Mode}
-	if opts.Platform.Topology != nil {
-		mr, err := compiler.MapCircuit(c, opts.Platform, opts.Mapping)
-		if err != nil {
-			return nil, err
-		}
-		out.MapResult = mr
-		c = mr.Circuit
-		// Routing inserts SWAPs; lower them to primitives too. The
-		// decomposition acts on the same adjacent pair, so the NN
-		// constraint is preserved.
-		if !opts.Platform.Supports("swap") {
-			c, err = compiler.Decompose(c, opts.Platform)
-			if err != nil {
-				return nil, err
-			}
-			if opts.Optimize {
-				c = compiler.Optimize(c)
-			}
-		}
-	}
-	sched, err := compiler.ScheduleCircuit(c, opts.Platform, opts.Policy)
+	report, err := pipeline.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
-	out.Circuit = c
-	out.Schedule = sched
-	out.CQASM = cqasm.PrintCircuit(c)
+	if ctx.Schedule == nil {
+		return nil, fmt.Errorf("openql: pass spec %q produced no schedule; include the \"schedule\" pass", spec)
+	}
+	out := &Compiled{
+		Mode:      opts.Mode,
+		Circuit:   ctx.Circuit,
+		CQASM:     cqasm.PrintCircuit(ctx.Circuit),
+		Schedule:  ctx.Schedule,
+		MapResult: ctx.MapResult,
+		Report:    report,
+	}
 	if opts.Mode == RealisticQubits {
-		prog, err := eqasm.Assemble(sched, opts.Platform)
-		if err != nil {
-			return nil, err
+		prog, _ := ctx.Assembled.(*eqasm.Program)
+		if prog == nil {
+			return nil, fmt.Errorf("openql: pass spec %q produced no eQASM for a realistic target; include the \"assemble\" pass", spec)
 		}
-		prog.Name = p.Name
 		out.EQASM = prog
 	}
 	return out, nil

@@ -1,11 +1,16 @@
 package openql
 
 import (
+	"fmt"
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/circuit"
 	"repro/internal/compiler"
 	"repro/internal/cqasm"
+	"repro/internal/eqasm"
 )
 
 func bellProgram() *Program {
@@ -164,5 +169,220 @@ func TestSanitize(t *testing.T) {
 	}
 	if sanitize("") != "kernel" {
 		t.Error("empty name")
+	}
+}
+
+// compileLegacy is a verbatim copy of the pre-pass-manager Program.Compile
+// — the hard-wired decompose/optimize/map/schedule chain. It is the
+// reference implementation the default pass pipeline must reproduce
+// gate for gate.
+func compileLegacy(p *Program, opts CompileOptions) (*Compiled, error) {
+	if opts.Platform == nil {
+		opts.Platform = compiler.Perfect(p.NumQubits)
+	}
+	flat := p.Flatten()
+	c, err := compiler.Decompose(flat, opts.Platform)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Optimize {
+		c = compiler.Optimize(c)
+	}
+	out := &Compiled{Mode: opts.Mode}
+	if opts.Platform.Topology != nil {
+		mr, err := compiler.MapCircuit(c, opts.Platform, opts.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		out.MapResult = mr
+		c = mr.Circuit
+		if !opts.Platform.Supports("swap") {
+			c, err = compiler.Decompose(c, opts.Platform)
+			if err != nil {
+				return nil, err
+			}
+			if opts.Optimize {
+				c = compiler.Optimize(c)
+			}
+		}
+	}
+	sched, err := compiler.ScheduleCircuit(c, opts.Platform, opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	out.Circuit = c
+	out.Schedule = sched
+	out.CQASM = cqasm.PrintCircuit(c)
+	if opts.Mode == RealisticQubits {
+		prog, err := eqasm.Assemble(sched, opts.Platform)
+		if err != nil {
+			return nil, err
+		}
+		prog.Name = p.Name
+		out.EQASM = prog
+	}
+	return out, nil
+}
+
+// diffCorpus returns randomized + structured programs over n qubits.
+func diffCorpus(n int, seed int64) []*Program {
+	rng := rand.New(rand.NewSource(seed))
+	var progs []*Program
+	for i := 0; i < 4; i++ {
+		c := circuit.RandomCircuit(n, 2+i, rng)
+		for q := 0; q < n; q++ {
+			c.Measure(q)
+		}
+		progs = append(progs, ProgramFromCircuit(fmt.Sprintf("rand%d", i), c))
+	}
+	// Structured circuits exercising multi-level decomposition, swaps and
+	// conditionals.
+	s := circuit.New("struct", n)
+	s.Toffoli(0, 1, 2).SWAP(0, n-1).CPhase(1, 2, 0.7).H(0).Barrier().T(1)
+	g, _ := circuit.NewGate("x", []int{2})
+	g.HasCond, g.CondBit = true, 0
+	s.Measure(0)
+	s.AddGate(g)
+	s.MeasureAll()
+	progs = append(progs, ProgramFromCircuit("struct", s))
+	progs = append(progs, ProgramFromCircuit("qft", circuit.QFT(n, true)))
+	return progs
+}
+
+// TestDefaultPipelineMatchesLegacy is the refactor's safety net: across a
+// randomized corpus and all three platform presets, the default pass
+// pipeline must emit a compiled artefact — circuit, schedule, eQASM, map
+// result — identical to the pre-refactor hard-wired compiler.
+func TestDefaultPipelineMatchesLegacy(t *testing.T) {
+	// nativeSwap is a topology-constrained platform with a primitive swap
+	// gate: the one configuration class where the classic compiler skipped
+	// SWAP lowering *and* the post-routing re-optimisation — the pipeline's
+	// optimize-lowered pass must skip there too.
+	nativeSwap := func(n int) *compiler.Platform {
+		cfg, err := compiler.LoadPlatform([]byte(fmt.Sprintf(`{
+			"name": "nativeswap", "qubits": %d, "cycle_time_ns": 20,
+			"gates": {"i":{}, "rz":{}, "x90":{}, "mx90":{}, "y90":{}, "my90":{},
+			          "cz":{}, "swap":{"duration":3}, "measure":{}, "prep_z":{},
+			          "wait":{}, "barrier":{}},
+			"topology": {"kind": "linear"}}`, n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	targets := []struct {
+		name     string
+		mode     QubitMode
+		platform func(n int) *compiler.Platform
+		qubits   int
+	}{
+		{"perfect", PerfectQubits, compiler.Perfect, 5},
+		{"superconducting", RealisticQubits, func(int) *compiler.Platform { return compiler.Superconducting() }, 5},
+		{"semiconducting", RealisticQubits, func(int) *compiler.Platform { return compiler.Semiconducting() }, 5},
+		{"native-swap", PerfectQubits, nativeSwap, 5},
+	}
+	for _, tc := range targets {
+		for _, optimize := range []bool{true, false} {
+			for _, policy := range []compiler.Policy{compiler.ASAP, compiler.ALAP} {
+				for pi, prog := range diffCorpus(tc.qubits, 42) {
+					opts := CompileOptions{
+						Mode:     tc.mode,
+						Platform: tc.platform(tc.qubits),
+						Optimize: optimize,
+						Policy:   policy,
+						Mapping:  compiler.MapOptions{Lookahead: pi%2 == 0},
+					}
+					want, errLegacy := compileLegacy(prog, opts)
+					got, errNew := prog.Compile(opts)
+					label := fmt.Sprintf("%s/opt=%v/%s/%s", tc.name, optimize, policy, prog.Name)
+					if (errLegacy == nil) != (errNew == nil) {
+						t.Fatalf("%s: error mismatch: legacy %v, pipeline %v", label, errLegacy, errNew)
+					}
+					if errLegacy != nil {
+						continue
+					}
+					if !reflect.DeepEqual(got.Circuit.Gates, want.Circuit.Gates) {
+						t.Fatalf("%s: circuits diverge\nlegacy:\n%s\npipeline:\n%s",
+							label, want.Circuit, got.Circuit)
+					}
+					if got.CQASM != want.CQASM {
+						t.Fatalf("%s: cQASM diverges", label)
+					}
+					if !reflect.DeepEqual(got.Schedule, want.Schedule) {
+						t.Fatalf("%s: schedules diverge", label)
+					}
+					if !reflect.DeepEqual(got.MapResult, want.MapResult) {
+						t.Fatalf("%s: map results diverge: %+v vs %+v", label, got.MapResult, want.MapResult)
+					}
+					switch {
+					case (got.EQASM == nil) != (want.EQASM == nil):
+						t.Fatalf("%s: eQASM presence diverges", label)
+					case got.EQASM != nil && got.EQASM.String() != want.EQASM.String():
+						t.Fatalf("%s: eQASM diverges", label)
+					}
+					if got.Report == nil || len(got.Report.Passes) == 0 {
+						t.Fatalf("%s: pipeline produced no compile report", label)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompileCustomPassSpec drives the extension point: a custom pipeline
+// with the commutation-aware folding pass compiles at least as small a
+// circuit, and pass specs missing required stages fail with clear errors.
+func TestCompileCustomPassSpec(t *testing.T) {
+	c := circuit.New("fold", 3).RZ(0, 0.3).CNOT(0, 1).RZ(0, 0.4).H(2)
+	prog := ProgramFromCircuit("fold", c)
+
+	plain, err := prog.Compile(CompileOptions{Passes: "decompose,schedule"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := prog.Compile(CompileOptions{Passes: "decompose,fold-rotations,schedule"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folded.Circuit.Gates) >= len(plain.Circuit.Gates) {
+		t.Errorf("fold-rotations pass did not shrink the circuit: %d vs %d gates",
+			len(folded.Circuit.Gates), len(plain.Circuit.Gates))
+	}
+	if folded.Report.PassSpec != "decompose,fold-rotations,schedule" {
+		t.Errorf("report spec %q", folded.Report.PassSpec)
+	}
+}
+
+func TestCompileRejectsBadPassSpecs(t *testing.T) {
+	prog := bellProgram()
+	if _, err := prog.Compile(CompileOptions{Passes: "decompose,teleport"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown pass") {
+		t.Errorf("unknown pass not rejected clearly: %v", err)
+	}
+	if _, err := prog.Compile(CompileOptions{Passes: "decompose,optimize"}); err == nil ||
+		!strings.Contains(err.Error(), "schedule") {
+		t.Errorf("schedule-less spec not rejected clearly: %v", err)
+	}
+	if _, err := prog.Compile(CompileOptions{
+		Mode:     RealisticQubits,
+		Platform: compiler.Superconducting(),
+		Passes:   "decompose,optimize,map,lower-swaps,schedule",
+	}); err == nil || !strings.Contains(err.Error(), "assemble") {
+		t.Errorf("assemble-less realistic spec not rejected clearly: %v", err)
+	}
+}
+
+// The ISSUE's canonical example spec must work end to end on a perfect
+// target (assemble is optional there).
+func TestCompileExampleSpecPerfect(t *testing.T) {
+	compiled, err := bellProgram().Compile(CompileOptions{Passes: "decompose,optimize,map,schedule"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Schedule == nil || compiled.Report == nil {
+		t.Fatal("example spec produced incomplete artefacts")
+	}
+	if got := len(compiled.Report.Passes); got != 4 {
+		t.Errorf("%d pass metrics, want 4", got)
 	}
 }

@@ -38,19 +38,26 @@ func (b *StackBackend) Name() string { return b.Stack.Name }
 // Accepts reports whether the request is a gate job.
 func (b *StackBackend) Accepts(r *Request) bool { return r.CQASM != "" || r.Program != nil }
 
-// Run compiles (or cache-fetches) the program and executes it. A per-job
-// engine override executes (and caches) under a copy of the stack with
-// that engine, so jobs on one backend can pick their execution engine
-// independently.
+// Run compiles (or cache-fetches) the program and executes it. Per-job
+// engine and pass-spec overrides execute (and cache) under a copy of the
+// stack with those settings, so jobs on one backend can pick their
+// execution engine and compile pipeline independently. An engine override
+// reuses the cached compile (engines never change compilation); a pass
+// override keys its own cache entry through CompileFingerprint.
 func (b *StackBackend) Run(r *Request, seed int64, cache *CompileCache) (*Result, bool, error) {
 	p, err := b.program(r)
 	if err != nil {
 		return nil, false, err
 	}
 	stack := b.Stack
-	if r.Engine != "" && r.Engine != stack.Engine {
+	if (r.Engine != "" && r.Engine != stack.Engine) || (r.Passes != "" && r.Passes != stack.Passes) {
 		override := *stack
-		override.Engine = r.Engine
+		if r.Engine != "" {
+			override.Engine = r.Engine
+		}
+		if r.Passes != "" {
+			override.Passes = r.Passes
+		}
 		stack = &override
 	}
 	var (

@@ -38,6 +38,24 @@
 // block the perfect-qubit lane, mirroring how a heterogeneous system of
 // Fig 1 runs its co-processors independently.
 //
+// # Compiler pass pipelines
+//
+// Gate compilation runs through the pass-manager compiler rather than a
+// fixed sequence: each backend stack compiles with a pipeline of named
+// passes (decompose, optimize, map, lower-swaps, schedule, assemble, …),
+// configured service-wide by Config.Passes and per job through
+// Request.Passes / the JSON "passes" field — per-job compilation
+// strategies over the same backends. Unknown pass names are rejected at
+// submit time; a spec lacking a required stage (schedule, or assemble on
+// realistic stacks) fails the job at compile time with a clear error.
+// The pass spec is part of core.Stack.CompileFingerprint, so jobs with
+// different pipelines key distinct compile-cache entries and can never
+// alias each other's artefacts. Every compiled artefact carries a
+// compiler.CompileReport — per-pass wall time, gate count, depth, added
+// SWAPs — which GET /jobs/{id} returns with the job and GET /stats
+// aggregates per backend and pass (cache hits excluded: they skipped the
+// pipeline), so operators can see where compile time goes, pass by pass.
+//
 // # Execution engines and parallel shots
 //
 // Beneath every gate backend sits the pluggable qx execution-engine layer
@@ -57,13 +75,14 @@
 // internal/quantum for that concurrency contract).
 //
 // Gate backends share one compiled-circuit cache keyed by
-// (program cQASM, stack compile fingerprint): repeated submissions of the
-// same program to the same target skip decomposition, optimisation,
-// mapping and scheduling entirely and go straight to seeded QX execution
-// (core.Stack.RunCompiled). Compilation is engine-independent, so jobs
-// that override the engine reuse the same entry. In-flight compilations
-// are deduplicated, so N simultaneous submissions of one new program
-// compile it once.
+// (program cQASM, stack compile fingerprint — which includes the pass
+// spec): repeated submissions of the same program to the same target with
+// the same pipeline skip the compiler passes entirely and go straight to
+// seeded QX execution (core.Stack.RunCompiled). Compilation is
+// engine-independent, so jobs that override the engine reuse the same
+// entry; jobs that override the pass spec compile (and cache) their own.
+// In-flight compilations are deduplicated, so N simultaneous submissions
+// of one new program compile it once.
 //
 // Execution is deterministic per job: every job gets a derived seed, and
 // all mutable simulator state is created per run (see the concurrency
@@ -74,8 +93,9 @@
 //
 // The embedded HTTP API (Service.Handler) exposes POST /submit,
 // GET /jobs/{id} (with optional ?wait=duration long-polling) and
-// GET /stats — queue depth, per-backend throughput and cache hit rate —
-// so operators can see where the time went, the service-level analogue of
-// the host's Amdahl accounting in internal/accel. cmd/qservd wires the
-// default heterogeneous system behind this API.
+// GET /stats — queue depth, per-backend throughput, cache hit rate and
+// per-pass compile time — so operators can see where the time went, the
+// service-level analogue of the host's Amdahl accounting in
+// internal/accel. cmd/qservd wires the default heterogeneous system
+// behind this API.
 package qserv

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/compiler"
 	"repro/internal/qubo"
 	"repro/internal/qx"
 )
@@ -19,8 +20,13 @@ type SubmitRequest struct {
 	QUBO    *QUBOJSON `json:"qubo,omitempty"`
 	Backend string    `json:"backend,omitempty"`
 	Engine  string    `json:"engine,omitempty"`
-	Shots   int       `json:"shots,omitempty"`
-	Seed    int64     `json:"seed,omitempty"`
+	// Passes is a comma-separated compiler pass spec for this job
+	// (e.g. "decompose,optimize,map,lower-swaps,schedule,assemble");
+	// empty uses the backend's configured pipeline. Unknown pass names
+	// are rejected at submit time with 400.
+	Passes string `json:"passes,omitempty"`
+	Shots  int    `json:"shots,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
 }
 
 // QUBOJSON is the wire form of a QUBO: n variables plus sparse
@@ -60,17 +66,22 @@ type SubmitResponse struct {
 
 // JobView is the JSON rendering of a job for GET /jobs/{id}.
 type JobView struct {
-	ID          string      `json:"id"`
-	Name        string      `json:"name,omitempty"`
-	Status      Status      `json:"status"`
-	Backend     string      `json:"backend"`
-	CacheHit    bool        `json:"cache_hit"`
-	Error       string      `json:"error,omitempty"`
-	SubmittedAt time.Time   `json:"submitted_at"`
-	StartedAt   *time.Time  `json:"started_at,omitempty"`
-	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
-	ElapsedMs   float64     `json:"elapsed_ms,omitempty"`
-	Result      *ResultView `json:"result,omitempty"`
+	ID          string     `json:"id"`
+	Name        string     `json:"name,omitempty"`
+	Status      Status     `json:"status"`
+	Backend     string     `json:"backend"`
+	CacheHit    bool       `json:"cache_hit"`
+	Passes      string     `json:"passes,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	ElapsedMs   float64    `json:"elapsed_ms,omitempty"`
+	// CompileReport is the per-pass account (wall time, gate count,
+	// depth, added SWAPs) of the compile pipeline behind a gate job's
+	// result; on a cache hit it describes the original compilation.
+	CompileReport *compiler.CompileReport `json:"compile_report,omitempty"`
+	Result        *ResultView             `json:"result,omitempty"`
 }
 
 // ResultView is the JSON rendering of a job result.
@@ -93,6 +104,7 @@ func viewJob(j *Job) JobView {
 		Status:      j.Status(),
 		Backend:     j.Backend(),
 		CacheHit:    j.CacheHit(),
+		Passes:      j.Req.Passes,
 		SubmittedAt: submitted,
 	}
 	if !started.IsZero() {
@@ -107,6 +119,9 @@ func viewJob(j *Job) JobView {
 	}
 	if res := j.Result(); res != nil {
 		rv := &ResultView{}
+		if res.Report != nil {
+			v.CompileReport = res.Report.Compile
+		}
 		if res.Report != nil && res.Report.Result != nil {
 			r := res.Report.Result
 			rv.Counts = make(map[string]int, len(r.Counts))
@@ -157,6 +172,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		CQASM:   sr.CQASM,
 		Backend: sr.Backend,
 		Engine:  sr.Engine,
+		Passes:  sr.Passes,
 		Shots:   sr.Shots,
 		Seed:    sr.Seed,
 	}

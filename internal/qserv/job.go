@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/anneal"
+	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/openql"
 	"repro/internal/qubo"
@@ -44,6 +45,12 @@ type Request struct {
 	// empty uses the backend stack's configured engine. Ignored by
 	// annealing backends.
 	Engine string
+	// Passes is a comma-separated compiler pass spec for this job's gate
+	// compilation (e.g. "decompose,optimize,map,lower-swaps,schedule,
+	// assemble"); empty uses the backend stack's configured pipeline.
+	// Part of the compile-cache key, so jobs with different pipelines
+	// never share a compiled artefact. Ignored by annealing backends.
+	Passes string
 	// Shots is the number of executions aggregated into the result
 	// (gate jobs); defaults to the service's DefaultShots.
 	Shots int
@@ -69,6 +76,13 @@ func (r *Request) validate() error {
 	}
 	if r.Engine != "" {
 		if _, err := qx.EngineByName(r.Engine); err != nil {
+			return err
+		}
+	}
+	if r.Passes != "" {
+		// Reject unknown pass names at submit time; mode-dependent checks
+		// (schedule/assemble presence) surface when the job compiles.
+		if _, err := compiler.ParsePassSpec(r.Passes); err != nil {
 			return err
 		}
 	}

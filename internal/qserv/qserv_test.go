@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -605,5 +606,210 @@ func TestDefaultServiceEngineConfig(t *testing.T) {
 	}
 	if job.Result().Report == nil {
 		t.Fatal("no report from reference-engine stack")
+	}
+}
+
+// Per-job pass-spec selection: an invalid spec is rejected at submit
+// time, a custom spec keys its own compile-cache entry (miss on first
+// use, hit on reuse), and the default-spec entry is left untouched.
+func TestPerJobPassSelection(t *testing.T) {
+	s := twoBackendService(t, Config{Seed: 13})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	run := func(passes string) *Job {
+		t.Helper()
+		j, err := s.Submit(Request{Program: bellProgram("pass"), Backend: "perfect",
+			Passes: passes, Shots: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	if _, err := s.Submit(Request{Program: bellProgram("bad"), Passes: "decompose,teleport"}); err == nil {
+		t.Error("unknown pass spec accepted at submit")
+	}
+
+	def1 := run("")
+	if def1.CacheHit() {
+		t.Error("first default-spec compile reported a cache hit")
+	}
+	custom1 := run("decompose,fold-rotations,optimize,schedule")
+	if custom1.CacheHit() {
+		t.Error("custom pass spec shared the default spec's cache entry")
+	}
+	custom2 := run("decompose,fold-rotations,optimize,schedule")
+	if !custom2.CacheHit() {
+		t.Error("repeated custom pass spec missed its own cache entry")
+	}
+	def2 := run("")
+	if !def2.CacheHit() {
+		t.Error("custom-spec jobs evicted or aliased the default entry")
+	}
+	if st := s.Cache().Stats(); st.Entries != 2 {
+		t.Errorf("%d cache entries, want 2 (default + custom spec)", st.Entries)
+	}
+
+	// The compile report reflects the executed pipeline, cached or not.
+	rep := custom2.Result().Report
+	if rep == nil || rep.Compile == nil ||
+		rep.Compile.PassSpec != "decompose,fold-rotations,optimize,schedule" {
+		t.Fatalf("job compile report missing or wrong: %+v", rep)
+	}
+
+	// A spec that compiles but lacks the schedule pass fails the job with
+	// a clear error rather than crashing a worker.
+	j, err := s.Submit(Request{Program: bellProgram("nosched"), Backend: "perfect",
+		Passes: "decompose,optimize"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(ctx); err == nil || !strings.Contains(err.Error(), "schedule") {
+		t.Errorf("schedule-less job error = %v", err)
+	}
+}
+
+// Per-pass compile metrics must surface in Stats, aggregated only over
+// jobs that actually compiled (cache hits excluded).
+func TestStatsCompilePassMetrics(t *testing.T) {
+	s := twoBackendService(t, Config{Seed: 21})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(Request{Program: bellProgram("stats"), Backend: "perfect", Shots: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	var perfect *BackendStats
+	for i := range st.Backends {
+		if st.Backends[i].Name == "perfect" {
+			perfect = &st.Backends[i]
+		}
+	}
+	if perfect == nil || len(perfect.CompilePasses) == 0 {
+		t.Fatalf("no compile-pass stats on the perfect backend: %+v", st.Backends)
+	}
+	byPass := map[string]PassStats{}
+	for _, ps := range perfect.CompilePasses {
+		byPass[ps.Pass] = ps
+	}
+	// One cold compile, two cache hits → each pass aggregated exactly
+	// once (cache hits skip the pipeline).
+	wantRuns := map[string]uint64{"decompose": 1, "optimize": 1, "map": 1,
+		"lower-swaps": 1, "optimize-lowered": 1, "schedule": 1, "assemble": 1}
+	for want, runs := range wantRuns {
+		ps, ok := byPass[want]
+		if !ok {
+			t.Errorf("pass %q missing from stats", want)
+			continue
+		}
+		if ps.Runs != runs {
+			t.Errorf("pass %q runs = %d, want %d (cache hits must not aggregate)", want, ps.Runs, runs)
+		}
+	}
+	if byPass["decompose"].GatesIn == 0 {
+		t.Error("decompose gate counts not aggregated")
+	}
+}
+
+// The HTTP surface: "passes" field accepted and echoed, bad specs are a
+// 400, and the job view carries the per-pass compile report.
+func TestHTTPPassesField(t *testing.T) {
+	s := twoBackendService(t, Config{Seed: 5})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	spec := "decompose,optimize,map,lower-swaps,schedule,assemble"
+	body, _ := json.Marshal(SubmitRequest{Name: "bell", CQASM: bellCQASM,
+		Backend: "perfect", Passes: spec, Shots: 32})
+	resp, err := http.Post(srv.URL+"/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SubmitResponse
+	json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("passes submit status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/jobs/" + sr.ID + "?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jv JobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jv.Status != StatusDone {
+		t.Fatalf("job failed: %+v", jv)
+	}
+	if jv.Passes != spec {
+		t.Errorf("job view passes = %q, want %q", jv.Passes, spec)
+	}
+	if jv.CompileReport == nil || len(jv.CompileReport.Passes) == 0 {
+		t.Fatal("job view missing the per-pass compile report")
+	}
+	if jv.CompileReport.PassSpec != spec {
+		t.Errorf("compile report spec = %q", jv.CompileReport.PassSpec)
+	}
+
+	bad, _ := json.Marshal(SubmitRequest{CQASM: bellCQASM, Passes: "decompose,teleport"})
+	resp, err = http.Post(srv.URL+"/submit", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus passes submit status %d, want 400", resp.StatusCode)
+	}
+
+	// /stats carries per-pass compile metrics.
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	found := false
+	for _, b := range st.Backends {
+		for _, ps := range b.CompilePasses {
+			if ps.Pass == "schedule" && ps.Runs > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("/stats missing per-pass compile metrics")
+	}
+}
+
+// DefaultService must thread Config.Passes into every gate stack.
+func TestDefaultServicePassesConfig(t *testing.T) {
+	spec := "decompose,optimize,schedule,assemble"
+	s := DefaultService(Config{Seed: 3, Passes: spec}, 4, 1)
+	s.Start()
+	defer s.Stop()
+	job, err := s.Submit(Request{Program: bellProgram("cfg"), Backend: "superconducting", Shots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep := job.Result().Report
+	if rep == nil || rep.Compile == nil || rep.Compile.PassSpec != spec {
+		t.Fatalf("configured pass spec not used: %+v", rep)
 	}
 }

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/compiler"
 )
 
 // ErrQueueFull is returned by Submit when the bounded job queue is at
@@ -37,6 +40,10 @@ type Config struct {
 	// gate stacks with ("reference", "optimized"); empty uses the qx
 	// default. Individual jobs may still override it per request.
 	Engine string
+	// Passes is the compiler pass spec DefaultService configures the gate
+	// stacks with; empty uses the default pipeline. Individual jobs may
+	// still override it per request.
+	Passes string
 	// RetainJobs bounds how many completed jobs stay queryable; the
 	// oldest finished jobs are evicted beyond it (default 4096; negative
 	// retains everything — for tests and short-lived services).
@@ -75,6 +82,68 @@ type backendPool struct {
 	jobsFailed atomic.Uint64
 	busyNs     atomic.Int64
 	cacheHits  atomic.Uint64
+
+	// passMu guards passAgg: per-compiler-pass totals accumulated from
+	// the compile reports of jobs that actually compiled (cache hits
+	// skipped the pipeline and are excluded).
+	passMu  sync.Mutex
+	passAgg map[string]*passAggregate
+}
+
+// passAggregate is one pass's running totals within a pool.
+type passAggregate struct {
+	runs     uint64
+	ns       int64
+	gatesIn  uint64
+	gatesOut uint64
+	swaps    uint64
+}
+
+// recordCompile folds one compile report into the pool's per-pass totals.
+func (p *backendPool) recordCompile(rep *compiler.CompileReport) {
+	p.passMu.Lock()
+	defer p.passMu.Unlock()
+	if p.passAgg == nil {
+		p.passAgg = map[string]*passAggregate{}
+	}
+	for _, m := range rep.Passes {
+		a := p.passAgg[m.Pass]
+		if a == nil {
+			a = &passAggregate{}
+			p.passAgg[m.Pass] = a
+		}
+		a.runs++
+		a.ns += m.WallNs
+		a.gatesIn += uint64(m.GatesBefore)
+		a.gatesOut += uint64(m.GatesAfter)
+		a.swaps += uint64(m.AddedSwaps)
+	}
+}
+
+// passStats snapshots the pool's per-pass totals, sorted by pass name.
+func (p *backendPool) passStats() []PassStats {
+	p.passMu.Lock()
+	defer p.passMu.Unlock()
+	if len(p.passAgg) == 0 {
+		return nil
+	}
+	out := make([]PassStats, 0, len(p.passAgg))
+	for name, a := range p.passAgg {
+		ps := PassStats{
+			Pass:       name,
+			Runs:       a.runs,
+			TotalMs:    float64(a.ns) / 1e6,
+			GatesIn:    a.gatesIn,
+			GatesOut:   a.gatesOut,
+			AddedSwaps: a.swaps,
+		}
+		if a.runs > 0 {
+			ps.AvgUs = float64(a.ns) / float64(a.runs) / 1e3
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pass < out[j].Pass })
+	return out
 }
 
 // Service is the concurrent accelerator service: bounded per-backend job
@@ -188,6 +257,11 @@ func (s *Service) worker(p *backendPool) {
 		} else {
 			p.jobsDone.Add(1)
 		}
+		// Aggregate per-pass compile metrics from jobs that actually ran
+		// the pipeline; cache hits reuse a prior job's artefact.
+		if !hit && err == nil && res != nil && res.Report != nil && res.Report.Compile != nil {
+			p.recordCompile(res.Report.Compile)
+		}
 		job.finish(res, hit, err)
 		s.retire(job)
 	}
@@ -293,6 +367,21 @@ func (s *Service) Await(ctx context.Context, id string) (*Job, error) {
 	return j, nil
 }
 
+// PassStats is one compiler pass's aggregated slice of the /stats report:
+// how often the pass ran across this backend's compiles, the wall time it
+// consumed, and the gate-count work it did.
+type PassStats struct {
+	Pass    string  `json:"pass"`
+	Runs    uint64  `json:"runs"`
+	TotalMs float64 `json:"total_ms"`
+	AvgUs   float64 `json:"avg_us"`
+	// GatesIn and GatesOut sum the circuit sizes entering and leaving
+	// the pass across all runs.
+	GatesIn    uint64 `json:"gates_in"`
+	GatesOut   uint64 `json:"gates_out"`
+	AddedSwaps uint64 `json:"added_swaps,omitempty"`
+}
+
 // BackendStats is one backend's slice of the /stats report.
 type BackendStats struct {
 	Name       string  `json:"name"`
@@ -305,6 +394,9 @@ type BackendStats struct {
 	// JobsPerSec is completed jobs divided by service uptime — the
 	// per-backend throughput figure.
 	JobsPerSec float64 `json:"jobs_per_sec"`
+	// CompilePasses breaks the backend's compile time down by pipeline
+	// pass (absent for backends that never compiled).
+	CompilePasses []PassStats `json:"compile_passes,omitempty"`
 }
 
 // Stats is the service-wide instrumentation snapshot.
@@ -350,13 +442,14 @@ func (s *Service) Stats() Stats {
 		st.JobsDone += done
 		st.JobsFailed += failed
 		bs := BackendStats{
-			Name:       p.b.Name(),
-			Workers:    p.workers,
-			QueueDepth: len(p.ch),
-			JobsDone:   done,
-			JobsFailed: failed,
-			CacheHits:  p.cacheHits.Load(),
-			BusyMs:     float64(p.busyNs.Load()) / 1e6,
+			Name:          p.b.Name(),
+			Workers:       p.workers,
+			QueueDepth:    len(p.ch),
+			JobsDone:      done,
+			JobsFailed:    failed,
+			CacheHits:     p.cacheHits.Load(),
+			BusyMs:        float64(p.busyNs.Load()) / 1e6,
+			CompilePasses: p.passStats(),
 		}
 		if sec := uptime.Seconds(); sec > 0 {
 			bs.JobsPerSec = float64(done) / sec
