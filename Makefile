@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench cover vuln ci
 
 all: ci
 
@@ -23,4 +23,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: build vet race
+# Coverage gate on the device/target layer (mirrors the CI step).
+cover:
+	$(GO) test -coverprofile=target.cov ./internal/target
+	$(GO) tool cover -func=target.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/target coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/target coverage " $$3 "%"}'
+
+# Known-vulnerability scan (network access required).
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+ci: build vet race cover

@@ -35,6 +35,7 @@ import (
 	"repro/internal/qubo"
 	"repro/internal/qx"
 	"repro/internal/rb"
+	"repro/internal/target"
 	"repro/internal/topology"
 	"repro/internal/tsp"
 )
@@ -645,6 +646,51 @@ func BenchmarkCompilePipeline(b *testing.B) {
 	b.ReportMetric(float64(len(compiled.Circuit.Gates)), "gates")
 	report("E19 pass-manager compile pipeline (QFT-8 on Surface-17, lookahead routing)",
 		compiled.Report.String())
+}
+
+// E20 — the noise-aware mapping pass (ISSUE 4): hop-count routing versus
+// calibration-weighted routing on a Surface-17 device with skewed edge
+// errors. Reports routing cost (swaps) and the expected-success-
+// probability gain that paying extra swaps for cleaner couplers buys.
+func BenchmarkNoiseAwareMap(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	dev := target.Superconducting()
+	for j := range dev.Calibration.Edges {
+		dev.Calibration.Edges[j].TwoQubitError = math.Pow(10, -3+2.5*rng.Float64())
+	}
+	platform := compiler.PlatformFor(dev)
+	c := circuit.RandomCircuit(12, 8, rng)
+	decomposed, err := compiler.Decompose(c, platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	routers := []struct {
+		name string
+		fn   func(*circuit.Circuit, *compiler.Platform, compiler.MapOptions) (*compiler.MapResult, error)
+	}{
+		{"hop", compiler.MapCircuit},
+		{"noise", compiler.MapCircuitNoise},
+	}
+	rows := ""
+	for _, r := range routers {
+		r := r
+		b.Run(r.name, func(b *testing.B) {
+			var mr *compiler.MapResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				mr, err = r.fn(decomposed, platform, compiler.MapOptions{Lookahead: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			esp := compiler.ExpectedSuccess(mr.Circuit, platform)
+			b.ReportMetric(float64(mr.AddedSwaps), "swaps")
+			b.ReportMetric(esp, "esp")
+			rows += fmt.Sprintf("%-6s swaps %3d  latency factor %.2f  expected success %.4f\n",
+				r.name, mr.AddedSwaps, mr.LatencyFactor, esp)
+		})
+	}
+	report("E20 noise-aware mapping (Surface-17, skewed calibration)", rows)
 }
 
 // E17 — the qserv service layer (ISSUE 1): cold compile versus the

@@ -1,17 +1,29 @@
 // Command openqlc is the quantum compiler driver: it reads cQASM and runs
-// the pass-manager pipeline — decompose to a platform's primitive gate
-// set, optimise, map to the qubit-plane topology, lower routing SWAPs,
-// schedule, assemble — emitting cQASM or eQASM, with a per-pass report of
-// wall time, gate count and depth. The §2.4 compiler flow as a tool.
+// the pass-manager pipeline — decompose to a device's primitive gate set,
+// optimise, map to the qubit-plane topology (hop-count or noise-aware),
+// lower routing SWAPs, schedule, assemble — emitting cQASM or eQASM, with
+// a per-pass report of wall time, gate count and depth. The §2.4 compiler
+// flow as a tool.
 //
 // Usage:
 //
-//	openqlc [-platform name|-config file.json] [-emit cqasm|eqasm]
-//	        [-schedule asap|alap] [-opt] [-lookahead] [-passes spec] file.cq
+//	openqlc [-platform name] [-target device.json] [-calibration cal.json]
+//	        [-emit cqasm|eqasm] [-schedule asap|alap] [-opt] [-lookahead]
+//	        [-passes spec] file.cq
 //
-// The -passes spec selects a custom pipeline from the registered passes
-// (e.g. "decompose,fold-rotations,optimize,map,lower-swaps,schedule");
-// it must include "schedule", and "assemble" when emitting eQASM.
+// The compilation target is a device description: one of the built-in
+// presets (-platform perfect|superconducting|semiconducting) or a device
+// JSON file (-target; see examples/devices/ for the schema — topology,
+// native gates, timings and the calibration table). -calibration overlays
+// a fresh calibration JSON onto the chosen device, which is how
+// noise-aware passes see up-to-date error rates.
+//
+// The -passes spec selects a custom pipeline from the registered passes,
+// with per-pass options — e.g. "decompose,map(lookahead=8,strategy=noise),
+// lower-swaps,schedule" routes around lossy couplers using the device
+// calibration. It must include "schedule", and "assemble" when emitting
+// eQASM. For calibrated devices the report includes the routed circuit's
+// expected success probability.
 package main
 
 import (
@@ -23,17 +35,23 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/cqasm"
 	"repro/internal/openql"
+	"repro/internal/target"
 )
 
 func main() {
-	platformName := flag.String("platform", "superconducting", "target platform: perfect, superconducting, semiconducting")
-	configPath := flag.String("config", "", "platform JSON config (overrides -platform)")
+	platformName := flag.String("platform", "superconducting",
+		"target device preset: "+strings.Join(target.PresetNames(), ", "))
+	targetPath := flag.String("target", "", "device JSON file (overrides -platform; see examples/devices/)")
+	configPath := flag.String("config", "", "deprecated alias for -target")
+	calibPath := flag.String("calibration", "", "calibration JSON file overlaid onto the device")
 	emit := flag.String("emit", "cqasm", "output format: cqasm or eqasm")
 	schedule := flag.String("schedule", "asap", "scheduling policy: asap or alap")
 	opt := flag.Bool("opt", true, "run the peephole optimiser (default pipeline only)")
 	lookahead := flag.Bool("lookahead", false, "use lookahead routing")
 	passes := flag.String("passes", "",
-		"comma-separated pass pipeline (default: the standard flow; available: "+
+		"comma-separated pass pipeline with optional per-pass options, e.g. "+
+			`"decompose,map(lookahead=8,strategy=noise),lower-swaps,schedule" `+
+			"(default: the standard flow; available: "+
 			strings.Join(compiler.PassNames(), ", ")+")")
 	stats := flag.Bool("stats", true, "print per-pass compilation statistics to stderr")
 	flag.Parse()
@@ -51,26 +69,11 @@ func main() {
 		fatal(err)
 	}
 
-	var platform *compiler.Platform
-	switch {
-	case *configPath != "":
-		data, err := os.ReadFile(*configPath)
-		if err != nil {
-			fatal(err)
-		}
-		platform, err = compiler.LoadPlatform(data)
-		if err != nil {
-			fatal(err)
-		}
-	case *platformName == "perfect":
-		platform = compiler.Perfect(c.NumQubits)
-	case *platformName == "superconducting":
-		platform = compiler.Superconducting()
-	case *platformName == "semiconducting":
-		platform = compiler.Semiconducting()
-	default:
-		fatal(fmt.Errorf("unknown platform %q", *platformName))
+	dev, err := loadDevice(*targetPath, *configPath, *platformName, *calibPath, c.NumQubits)
+	if err != nil {
+		fatal(err)
 	}
+	platform := compiler.PlatformFor(dev)
 
 	policy := compiler.ASAP
 	if *schedule == "alap" {
@@ -86,7 +89,7 @@ func main() {
 	prog := openql.ProgramFromCircuit(circuitName(c.Name, flag.Arg(0)), c)
 	compiled, err := prog.Compile(openql.CompileOptions{
 		Mode:     mode,
-		Platform: platform,
+		Target:   dev,
 		Optimize: *opt,
 		Policy:   policy,
 		Mapping:  compiler.MapOptions{Lookahead: *lookahead},
@@ -97,6 +100,8 @@ func main() {
 	}
 
 	if *stats {
+		fmt.Fprintf(os.Stderr, "target: %s (%d qubits, hash %s)\n",
+			dev.Name, dev.NumQubits, dev.Hash()[:12])
 		fmt.Fprint(os.Stderr, compiled.Report.String())
 		if compiled.MapResult != nil {
 			fmt.Fprintf(os.Stderr, "mapping: %d swaps inserted, latency factor %.2f\n",
@@ -105,6 +110,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "schedule: %d gates, makespan %d cycles (%d ns)\n",
 			len(compiled.Schedule.Gates), compiled.Schedule.Makespan,
 			compiled.Schedule.Makespan*platform.CycleTimeNs)
+		if dev.Calibration != nil {
+			fmt.Fprintf(os.Stderr, "expected success probability: %.4f\n",
+				compiler.ExpectedSuccess(compiled.Circuit, platform))
+		}
 	}
 
 	switch *emit {
@@ -115,6 +124,29 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown emit format %q", *emit))
 	}
+}
+
+// loadDevice resolves the compilation target: a device JSON file when
+// given, else the named preset (perfect sized to the circuit), with an
+// optional calibration overlay.
+func loadDevice(targetPath, configPath, preset, calibPath string, circuitQubits int) (*target.Device, error) {
+	if targetPath == "" {
+		targetPath = configPath
+	}
+	var dev *target.Device
+	var err error
+	switch {
+	case targetPath != "":
+		dev, err = target.LoadFile(targetPath)
+	case preset == "perfect":
+		dev = target.Perfect(circuitQubits)
+	default:
+		dev, err = target.Preset(preset)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return target.OverlayCalibrationFile(dev, calibPath)
 }
 
 // circuitName labels the program after its source: the circuit name when

@@ -1,27 +1,43 @@
 // qservd serves the heterogeneous quantum accelerator system of Fig 1
 // over HTTP: gate jobs (cQASM) on the perfect, superconducting and
-// semiconducting stacks, QUBO jobs on the simulated quantum annealer,
-// and a classical brute-force fallback — all behind a bounded job queue,
-// per-backend worker pools and a shared compiled-circuit cache.
+// semiconducting stacks — plus any device loaded with -target — QUBO
+// jobs on the simulated quantum annealer, and a classical brute-force
+// fallback, all behind a bounded job queue, per-backend worker pools and
+// a shared compiled-circuit cache keyed on device content hashes.
 //
 // Usage:
 //
-//	qservd [-addr :8080] [-qubits 10] [-workers 2] [-queue 256] [-cache 512] [-shots 1024] [-seed 1] [-engine optimized] [-passes spec]
+//	qservd [-addr :8080] [-qubits 10] [-workers 2] [-queue 256] [-cache 512]
+//	       [-shots 1024] [-seed 1] [-engine optimized] [-passes spec]
+//	       [-target device.json] [-calibration cal.json]
 //
 // API:
 //
 //	POST /submit        {"cqasm": "...", "backend": "perfect", "shots": 1024}
-//	                    {"cqasm": "...", "passes": "decompose,optimize,map,lower-swaps,schedule,assemble"}
+//	                    {"cqasm": "...", "passes": "decompose,map(lookahead=8,strategy=noise),lower-swaps,schedule,assemble"}
+//	                    {"cqasm": "...", "target": {<device JSON>}}
+//	                    {"cqasm": "...", "backend": "superconducting", "calibration": {<calibration JSON>}}
 //	                    {"qubo": {"n": 3, "terms": [{"i":0,"j":0,"v":-1}]}, "backend": "annealer"}
 //	GET  /jobs/{id}     job status, result, and the per-pass compile report
-//	GET  /stats         queue depth, per-backend throughput and per-pass
-//	                    compile time, cache hit rate
+//	GET  /backends      registered backends with full device descriptions,
+//	                    calibration tables and device content hashes
+//	GET  /stats         queue depth, per-backend throughput, per-pass compile
+//	                    latency percentiles (p50/p95/p99), cache hit rate
 //	GET  /healthz       liveness probe
 //
-// The optional "passes" field selects the compiler pass pipeline per job
-// (it keys the compile cache, so jobs with different pipelines never
-// share compiled artefacts); -passes sets the default for every gate
-// stack. Unknown pass names are rejected at submit time.
+// The optional "passes" field selects the compiler pass pipeline per job,
+// including per-pass options such as map(strategy=noise) for
+// calibration-weighted routing; -passes sets the default for every gate
+// stack. "target" submits a full device description for one job and
+// "calibration" overlays fresh calibration data onto the job's device —
+// both are validated at submit time (400 on invalid input) and key the
+// compile cache through the device content hash, so re-calibration never
+// reuses stale compiled artefacts. The device-JSON schema is what
+// GET /backends returns; examples live under examples/devices/.
+//
+// -target adds the device in the given JSON file as an additional gate
+// backend (named after the device); -calibration overlays a calibration
+// file onto it at startup.
 package main
 
 import (
@@ -31,13 +47,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/core"
 	"repro/internal/qserv"
 	"repro/internal/qx"
+	"repro/internal/target"
 )
 
 func main() {
@@ -53,7 +72,14 @@ func main() {
 	passes := flag.String("passes", "",
 		"default compiler pass pipeline for the gate stacks (available: "+
 			strings.Join(compiler.PassNames(), ", ")+"); empty selects the standard flow")
+	targetPath := flag.String("target", "",
+		"device JSON file served as an additional gate backend (see examples/devices/)")
+	calibPath := flag.String("calibration", "",
+		"calibration JSON file overlaid onto the -target device at startup")
 	flag.Parse()
+	if *qubits < 1 {
+		log.Fatalf("qservd: -qubits must be at least 1, got %d", *qubits)
+	}
 	if _, err := qx.EngineByName(*engine); err != nil {
 		log.Fatalf("qservd: %v", err)
 	}
@@ -72,11 +98,36 @@ func main() {
 		Engine:         *engine,
 		Passes:         *passes,
 	}, *qubits, *workers)
+
+	backends := "perfect, superconducting, semiconducting, annealer, classical"
+	if *targetPath != "" {
+		dev, err := loadDevice(*targetPath, *calibPath)
+		if err != nil {
+			log.Fatalf("qservd: %v", err)
+		}
+		for _, b := range svc.Backends() {
+			if b.Name == dev.Name {
+				log.Fatalf("qservd: -target device %q collides with the built-in backend of that name; rename the device", dev.Name)
+			}
+		}
+		stack, err := core.NewStackForDevice(dev, *seed)
+		if err != nil {
+			log.Fatalf("qservd: %v", err)
+		}
+		stack.Engine = *engine
+		stack.Passes = *passes
+		stack.KernelWorkers = max(1, runtime.GOMAXPROCS(0)/max(1, *workers))
+		svc.AddBackend(qserv.NewStackBackend(stack), *workers)
+		backends += ", " + dev.Name
+		log.Printf("qservd: serving device %q (%d qubits, hash %s)", dev.Name, dev.NumQubits, dev.Hash()[:12])
+	} else if *calibPath != "" {
+		log.Fatal("qservd: -calibration requires -target")
+	}
 	svc.Start()
 
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	go func() {
-		log.Printf("qservd: serving on %s (engine %s; backends: perfect, superconducting, semiconducting, annealer, classical)", *addr, *engine)
+		log.Printf("qservd: serving on %s (engine %s; backends: %s)", *addr, *engine, backends)
 		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("qservd: %v", err)
 		}
@@ -96,4 +147,14 @@ func main() {
 	st := svc.Stats()
 	log.Printf("qservd: done — %d jobs submitted, %d done, %d failed, cache hit rate %.0f%%",
 		st.JobsSubmitted, st.JobsDone, st.JobsFailed, 100*st.CacheHitRate)
+}
+
+// loadDevice reads a device JSON file, optionally overlaying a
+// calibration file.
+func loadDevice(targetPath, calibPath string) (*target.Device, error) {
+	dev, err := target.LoadFile(targetPath)
+	if err != nil {
+		return nil, err
+	}
+	return target.OverlayCalibrationFile(dev, calibPath)
 }

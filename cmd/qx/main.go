@@ -3,12 +3,20 @@
 //
 // Usage:
 //
-//	qx [-shots N] [-seed S] [-engine E] [-parallel W] [-passes spec] [-depolarizing P] [-readout P] [-state] file.cq
+//	qx [-shots N] [-seed S] [-engine E] [-parallel W] [-passes spec]
+//	   [-target device.json] [-calibration cal.json]
+//	   [-depolarizing P] [-readout P] [-state] file.cq
 //
 // With -passes the circuit first runs through the compiler pass pipeline
-// (perfect-qubit target) and the per-pass report — wall time, gate
-// count, depth — is printed to stderr before execution; without it the
-// circuit executes as written.
+// and the per-pass report — wall time, gate count, depth — is printed to
+// stderr before execution; without it the circuit executes as written.
+// With -target the circuit compiles against the given device description
+// (topology, native gates, calibration; see examples/devices/), the
+// default pipeline is used when -passes is empty, and the simulator's
+// noise model is derived from the device calibration unless
+// -depolarizing/-readout override it explicitly. -calibration overlays a
+// fresh calibration JSON onto the device (or, without -target, onto an
+// all-to-all perfect device of the circuit's size).
 package main
 
 import (
@@ -18,9 +26,11 @@ import (
 	"strings"
 
 	"repro/internal/compiler"
+	"repro/internal/core"
 	"repro/internal/cqasm"
 	"repro/internal/openql"
 	"repro/internal/qx"
+	"repro/internal/target"
 )
 
 func main() {
@@ -33,6 +43,10 @@ func main() {
 	passes := flag.String("passes", "",
 		"compile through this pass pipeline before executing (available: "+
 			strings.Join(compiler.PassNames(), ", ")+"); empty runs the circuit as written")
+	targetPath := flag.String("target", "",
+		"device JSON file: compile for this device and derive noise from its calibration")
+	calibPath := flag.String("calibration", "",
+		"calibration JSON overlaid onto the device (or onto a perfect all-to-all device without -target)")
 	depol := flag.Float64("depolarizing", 0, "per-gate depolarizing probability (realistic qubits)")
 	readout := flag.Float64("readout", 0, "readout flip probability")
 	showState := flag.Bool("state", false, "print the final state vector (perfect, measurement-free circuits)")
@@ -50,17 +64,41 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *passes != "" {
+
+	// Resolve the compilation device: -target file, or a perfect device
+	// when only -calibration / -passes is given.
+	var dev *target.Device
+	if *targetPath != "" {
+		if dev, err = target.LoadFile(*targetPath); err != nil {
+			fatal(err)
+		}
+	}
+	if *calibPath != "" {
+		if dev == nil {
+			dev = target.Perfect(c.NumQubits)
+		}
+		if dev, err = target.OverlayCalibrationFile(dev, *calibPath); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *passes != "" || dev != nil {
+		opts := openql.CompileOptions{Mode: openql.PerfectQubits, Passes: *passes}
+		if dev != nil {
+			opts.Target = dev
+		} else {
+			opts.Platform = compiler.Perfect(c.NumQubits)
+		}
 		prog := openql.ProgramFromCircuit("qx", c)
-		compiled, err := prog.Compile(openql.CompileOptions{
-			Mode:     openql.PerfectQubits,
-			Platform: compiler.Perfect(c.NumQubits),
-			Passes:   *passes,
-		})
+		compiled, err := prog.Compile(opts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprint(os.Stderr, compiled.Report.String())
+		if dev != nil && dev.Calibration != nil {
+			fmt.Fprintf(os.Stderr, "expected success probability: %.4f\n",
+				compiler.ExpectedSuccess(compiled.Circuit, compiler.PlatformFor(dev)))
+		}
 		c = compiled.Circuit
 	}
 	engine, err := qx.EngineByName(*engineName)
@@ -68,13 +106,22 @@ func main() {
 		fatal(err)
 	}
 
-	var sim *qx.Simulator
-	if *depol > 0 || *readout > 0 {
-		noise := qx.Depolarizing(*depol)
+	// Noise model: explicit flags win; otherwise derive from the device
+	// calibration when one is present.
+	var noise *qx.NoiseModel
+	switch {
+	case *depol > 0 || *readout > 0:
+		noise = qx.Depolarizing(*depol)
 		noise.ReadoutError = *readout
+	case dev != nil && dev.Calibration != nil:
+		noise = core.NoiseFromDevice(dev)
+	}
+
+	var sim *qx.Simulator
+	if noise != nil && !noise.IsZero() {
 		sim = qx.NewNoisyWithEngine(*seed, noise, engine)
-		fmt.Printf("mode: realistic qubits (depolarizing %.2g, readout %.2g), engine %s\n",
-			*depol, *readout, engine.Name())
+		fmt.Printf("mode: realistic qubits (depolarizing %.2g, 2q %.2g, readout %.2g), engine %s\n",
+			noise.DepolarizingProb, noise.TwoQubitDepolarizingProb, noise.ReadoutError, engine.Name())
 	} else {
 		sim = qx.NewWithEngine(*seed, engine)
 		fmt.Printf("mode: perfect qubits, engine %s\n", engine.Name())

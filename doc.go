@@ -13,12 +13,38 @@
 // internal/grover), and hybrid optimisation (internal/tsp, internal/qubo,
 // internal/anneal, internal/embed, internal/qaoa).
 //
+// The hardware layer is described by a first-class device model
+// (internal/target): a target.Device unifies qubit count, qubit-plane
+// topology, the native gate set with timings, control-channel limits and
+// a Calibration table — per-qubit T1/T2 and readout error, per-edge
+// two-qubit error. Devices serialise to a canonical JSON schema (golden
+// examples under examples/devices/), validate themselves, and carry a
+// stable content hash that changes whenever anything — including the
+// calibration — changes. The three presets (perfect, superconducting/
+// Surface-17, semiconducting) come from target.Preset; compiler.Platform
+// is a thin view of a device (compiler.PlatformFor), core stacks are
+// built from devices (core.NewStackForDevice, which derives the
+// execution noise model from the calibration), and the device hash is
+// folded into core.Stack.CompileFingerprint — so re-calibrating a device
+// invalidates every compiled artefact cached against the stale table.
+// Devices flow through every layer: openql.CompileOptions.Target,
+// qserv's GET /backends and per-job "target"/"calibration" overrides,
+// and -target/-calibration flags on cmd/qx, cmd/qservd and cmd/openqlc.
+//
 // The compiler is a configurable pass pipeline rather than a hard-wired
 // sequence: compiler.Pass instances (decompose, optimize, map,
-// lower-swaps, optimize-lowered, fold-rotations, schedule, assemble,
-// plus anything registered via compiler.RegisterPass) execute over a shared
-// compiler.PassContext under a compiler.Pipeline, which records a
-// CompileReport of per-pass wall time, gate count, depth and added SWAPs.
+// map-noise, lower-swaps, optimize-lowered, fold-rotations, schedule,
+// assemble, plus anything registered via compiler.RegisterPass) execute
+// over a shared compiler.PassContext under a compiler.Pipeline, which
+// records a CompileReport of per-pass wall time, gate count, depth and
+// added SWAPs. Pass specs carry per-pass options —
+// "map(lookahead=8,strategy=noise)" — parsed up front with
+// position-carrying errors, so malformed specs fail at submission, not
+// mid-compile. The map-noise pass (equivalently map(strategy=noise))
+// weighs placement and routing by calibration edge fidelity instead of
+// hop count: it routes around lossy couplers to maximise
+// compiler.ExpectedSuccess, and degenerates gate-for-gate to the
+// hop-count mapper on uniform calibrations (both differentially tested).
 // openql.Program.Compile runs the default pipeline — reproducing the
 // classic decompose/optimize/map/schedule flow gate for gate, enforced by
 // a differential test — and a pass spec string selects custom pipelines
@@ -26,7 +52,8 @@
 // the compile fingerprint, so the qserv compile cache keys on it),
 // per-job "passes" in the qserv API, and -passes flags on cmd/qx,
 // cmd/qservd and cmd/openqlc. Per-pass metrics surface in core.Report,
-// qserv job views and /stats, and the CLI pass reports.
+// qserv job views and /stats (with p50/p95/p99 latency percentiles per
+// backend and pass), and the CLI pass reports.
 //
 // The execution layer itself is pluggable: internal/qx defines an Engine
 // interface — execute a compiled circuit into sampled counts or a final

@@ -309,7 +309,9 @@ func greedyPlacement(c *circuit.Circuit, topo *topology.Topology) []int {
 		return -1
 	}
 	for _, l := range order {
-		// Find the most frequent placed partner.
+		// Find the most frequent placed partner. Ties break toward the
+		// lowest partner id so placement is deterministic — map iteration
+		// order must never leak into routing results.
 		bestPartner, bestCount := -1, 0
 		for pair, count := range inter {
 			var other int
@@ -321,7 +323,10 @@ func greedyPlacement(c *circuit.Circuit, topo *topology.Topology) []int {
 			default:
 				continue
 			}
-			if l2p[other] >= 0 && count > bestCount {
+			if l2p[other] < 0 {
+				continue
+			}
+			if count > bestCount || (count == bestCount && bestPartner >= 0 && other < bestPartner) {
 				bestPartner, bestCount = other, count
 			}
 		}

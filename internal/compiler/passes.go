@@ -9,7 +9,8 @@ import "fmt"
 func init() {
 	RegisterPass(NewPass("decompose", runDecompose))
 	RegisterPass(NewPass("optimize", runOptimize))
-	RegisterPass(NewPass("map", runMap))
+	RegisterPass(NewOptionPass("map", runMap, checkMapOptions(true)))
+	RegisterPass(NewOptionPass("map-noise", runMapNoise, checkMapOptions(false)))
 	RegisterPass(NewPass("lower-swaps", runLowerSwaps))
 	RegisterPass(NewPass("optimize-lowered", runOptimizeLowered))
 	RegisterPass(NewPass("fold-rotations", runFoldRotations))
@@ -41,15 +42,116 @@ func runFoldRotations(ctx *PassContext) error {
 	return nil
 }
 
+// mapOptionsFrom overlays a map pass's spec options onto the base
+// MapOptions from the context and resolves the routing strategy:
+// placement=trivial|greedy, lookahead=<bool|window>, window=<int>,
+// strategy=hop|noise.
+func mapOptionsFrom(base MapOptions, o PassOptions, allowStrategy bool) (MapOptions, string, error) {
+	opts := base
+	strategy := "hop"
+	for key := range o {
+		switch key {
+		case "placement", "lookahead", "window":
+		case "strategy":
+			if !allowStrategy {
+				return opts, "", fmt.Errorf("unknown option %q (available: placement, lookahead, window)", key)
+			}
+		default:
+			avail := "placement, lookahead, window"
+			if allowStrategy {
+				avail += ", strategy"
+			}
+			return opts, "", fmt.Errorf("unknown option %q (available: %s)", key, avail)
+		}
+	}
+	switch v := o.String("placement", ""); v {
+	case "":
+	case "trivial":
+		opts.Placement = TrivialPlacement
+	case "greedy":
+		opts.Placement = GreedyPlacement
+	default:
+		return opts, "", fmt.Errorf("option placement=%q is not trivial or greedy", v)
+	}
+	if v, ok := o["lookahead"]; ok {
+		// lookahead=8 enables lookahead routing with that window;
+		// lookahead=true/false toggles it with the default window.
+		if n, err := o.Int("lookahead", 0); err == nil {
+			if n <= 0 {
+				return opts, "", fmt.Errorf("option lookahead=%q must be a positive window", v)
+			}
+			opts.Lookahead = true
+			opts.LookaheadWindow = n
+		} else if b, berr := o.Bool("lookahead", false); berr == nil {
+			opts.Lookahead = b
+		} else {
+			return opts, "", fmt.Errorf("option lookahead=%q is neither a window size nor a boolean", v)
+		}
+	}
+	if n, err := o.Int("window", 0); err != nil {
+		return opts, "", err
+	} else if n != 0 {
+		if n < 0 {
+			return opts, "", fmt.Errorf("option window=%d must be positive", n)
+		}
+		opts.LookaheadWindow = n
+	}
+	switch v := o.String("strategy", "hop"); v {
+	case "hop", "noise":
+		strategy = v
+	default:
+		return opts, "", fmt.Errorf("option strategy=%q is not hop or noise", v)
+	}
+	return opts, strategy, nil
+}
+
+// checkMapOptions validates a map pass's options at spec-parse time.
+func checkMapOptions(allowStrategy bool) func(PassOptions) error {
+	return func(o PassOptions) error {
+		_, _, err := mapOptionsFrom(MapOptions{}, o, allowStrategy)
+		return err
+	}
+}
+
 // runMap places logical qubits onto the platform topology and routes
-// two-qubit gates with SWAP chains. All-to-all targets skip the pass
+// two-qubit gates with SWAP chains; with strategy=noise it weighs
+// routing by the device calibration. All-to-all targets skip the pass
 // entirely (MapResult stays nil), preserving the classic compiler's
 // behaviour of mapping only constrained topologies.
 func runMap(ctx *PassContext) error {
 	if ctx.Platform.Topology == nil {
 		return nil
 	}
-	mr, err := MapCircuit(ctx.Circuit, ctx.Platform, ctx.Mapping)
+	opts, strategy, err := mapOptionsFrom(ctx.Mapping, ctx.Options, true)
+	if err != nil {
+		return err
+	}
+	var mr *MapResult
+	if strategy == "noise" {
+		mr, err = MapCircuitNoise(ctx.Circuit, ctx.Platform, opts)
+	} else {
+		mr, err = MapCircuit(ctx.Circuit, ctx.Platform, opts)
+	}
+	if err != nil {
+		return err
+	}
+	ctx.MapResult = mr
+	ctx.Circuit = mr.Circuit
+	return nil
+}
+
+// runMapNoise is the noise-aware mapping pass: placement and routing
+// weighted by calibration edge fidelity instead of hop count (see
+// MapCircuitNoise). Equivalent to map(strategy=noise).
+func runMapNoise(ctx *PassContext) error {
+	if ctx.Platform.Topology == nil {
+		return nil
+	}
+	opts, _, err := mapOptionsFrom(ctx.Mapping, ctx.Options, false)
+	if err != nil {
+		return err
+	}
+	mr, err := MapCircuitNoise(ctx.Circuit, ctx.Platform, opts)
 	if err != nil {
 		return err
 	}

@@ -41,6 +41,10 @@ type PassContext struct {
 	Assembler func(*PassContext) error
 	// ProgramName labels assembly output.
 	ProgramName string
+	// Options carries the current pass's spec options (e.g. the
+	// lookahead=8 of "map(lookahead=8)"); the pipeline sets it before
+	// each pass runs. Nil when the entry carried none.
+	Options PassOptions
 
 	// Circuit is the gate stream being rewritten; every pass leaves it
 	// valid for the next.
@@ -70,6 +74,21 @@ func (p passFunc) Run(ctx *PassContext) error { return p.fn(ctx) }
 // NewPass wraps a named function as a Pass.
 func NewPass(name string, fn func(ctx *PassContext) error) Pass {
 	return passFunc{name: name, fn: fn}
+}
+
+// optionPass is a passFunc that also validates per-pass spec options at
+// parse time (see OptionsChecker).
+type optionPass struct {
+	passFunc
+	check func(PassOptions) error
+}
+
+func (p optionPass) CheckOptions(opts PassOptions) error { return p.check(opts) }
+
+// NewOptionPass wraps a named function as a Pass whose spec options are
+// validated by check when the spec is parsed.
+func NewOptionPass(name string, fn func(ctx *PassContext) error, check func(PassOptions) error) Pass {
+	return optionPass{passFunc{name: name, fn: fn}, check}
 }
 
 var (
@@ -111,31 +130,6 @@ func PassNames() []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// ParsePassSpec resolves a comma-separated pass spec (e.g.
-// "decompose,optimize,map,schedule") against the registry. Unknown or
-// empty pass names are rejected with the available names listed, so a bad
-// spec fails at parse time, not mid-compilation.
-func ParsePassSpec(spec string) ([]Pass, error) {
-	if strings.TrimSpace(spec) == "" {
-		return nil, fmt.Errorf("compiler: empty pass spec (available passes: %s)",
-			strings.Join(PassNames(), ", "))
-	}
-	var passes []Pass
-	for _, name := range strings.Split(spec, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			return nil, fmt.Errorf("compiler: empty pass name in spec %q", spec)
-		}
-		p, ok := PassByName(name)
-		if !ok {
-			return nil, fmt.Errorf("compiler: unknown pass %q in spec %q (available: %s)",
-				name, spec, strings.Join(PassNames(), ", "))
-		}
-		passes = append(passes, p)
-	}
-	return passes, nil
 }
 
 // DefaultPassSpec returns the pass sequence equivalent to the classic
@@ -198,12 +192,13 @@ func (r *CompileReport) String() string {
 // on distinct contexts.
 type Pipeline struct {
 	Spec   string
-	passes []Pass
+	passes []BoundPass
 }
 
-// NewPipeline parses a pass spec into an executable pipeline.
+// NewPipeline parses a pass spec — including per-pass options such as
+// "map(lookahead=8,strategy=noise)" — into an executable pipeline.
 func NewPipeline(spec string) (*Pipeline, error) {
-	passes, err := ParsePassSpec(spec)
+	passes, err := ResolveSpec(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +209,7 @@ func NewPipeline(spec string) (*Pipeline, error) {
 func (pl *Pipeline) Passes() []string {
 	out := make([]string, len(pl.passes))
 	for i, p := range pl.passes {
-		out[i] = p.Name()
+		out[i] = p.Pass.Name()
 	}
 	return out
 }
@@ -234,7 +229,8 @@ func (pl *Pipeline) Run(ctx *PassContext) (*CompileReport, error) {
 	// metrics are the previous pass's after metrics — one depth scan per
 	// pass instead of two on this instrumented hot path.
 	gates, depth := len(ctx.Circuit.Gates), ctx.Circuit.Depth()
-	for _, p := range pl.passes {
+	for _, bp := range pl.passes {
+		p := bp.Pass
 		m := PassMetrics{
 			Pass:        p.Name(),
 			GatesBefore: gates,
@@ -244,6 +240,7 @@ func (pl *Pipeline) Run(ctx *PassContext) (*CompileReport, error) {
 		if ctx.MapResult != nil {
 			swapsBefore = ctx.MapResult.AddedSwaps
 		}
+		ctx.Options = bp.Options
 		start := time.Now()
 		if err := p.Run(ctx); err != nil {
 			return nil, fmt.Errorf("compiler: pass %q: %w", p.Name(), err)

@@ -1,28 +1,33 @@
 // Package compiler implements the quantum compiler layer of the stack
-// (§2.4–§2.6): gate decomposition to a platform's primitive set, circuit
+// (§2.4–§2.6): gate decomposition to a target's primitive set, circuit
 // optimisation, ASAP/ALAP and resource-constrained scheduling, and
-// mapping/routing under nearest-neighbour constraints. A Platform is the
-// configuration file that retargets the same passes to different quantum
+// mapping/routing under nearest-neighbour constraints — including
+// noise-aware routing weighted by the device's calibration data. A
+// Platform is a thin compiler-side view of a target.Device, the
+// configuration that retargets the same passes to different quantum
 // technologies, exactly as the paper's micro-architecture was retargeted
 // from superconducting to semiconducting qubits by "changes in the
 // configuration file for the compiler".
 package compiler
 
 import (
-	"encoding/json"
 	"fmt"
+	"sync"
 
+	"repro/internal/target"
 	"repro/internal/topology"
 )
 
-// GateInfo holds per-gate platform parameters.
-type GateInfo struct {
-	// DurationCycles is the gate latency in micro-architecture cycles.
-	DurationCycles int `json:"duration"`
-}
+// GateInfo holds per-gate platform parameters. It is the device-layer
+// gate spec: platforms view devices, they do not redefine them.
+type GateInfo = target.GateSpec
 
-// Platform describes a compilation target: its primitive gate set, gate
-// timings, qubit connectivity and control-channel limits.
+// Platform is the compiler's view of a compilation target: its primitive
+// gate set, gate timings, qubit connectivity and control-channel limits,
+// plus (through Target) the device calibration data that noise-aware
+// passes weigh their decisions by. Build one from a device with
+// PlatformFor; hand-constructed Platforms (Target nil) remain valid
+// uncalibrated targets.
 type Platform struct {
 	Name        string `json:"name"`
 	NumQubits   int    `json:"qubits"`
@@ -36,6 +41,74 @@ type Platform struct {
 	// Topology is the qubit connectivity; nil means all-to-all (perfect
 	// qubits, §2.1).
 	Topology *topology.Topology `json:"-"`
+	// Target is the device this platform views; nil for hand-built
+	// platforms. It carries the calibration table and the identity the
+	// content hash is derived from. A Platform treats its device as
+	// immutable: re-calibrations produce new devices (and platforms),
+	// never in-place edits.
+	Target *target.Device `json:"-"`
+
+	// hashOnce/hash memoise ContentHash — it sits on the per-submission
+	// compile-cache path, and canonical-marshal+SHA-256 of a full device
+	// is too expensive to redo per lookup. Platforms are shared by
+	// pointer; the zero value works for hand-built literals.
+	hashOnce sync.Once
+	hash     string
+}
+
+// PlatformFor returns the compiler view of a device. The view shares the
+// device's topology and gate table; treat both as immutable.
+func PlatformFor(dev *target.Device) *Platform {
+	gates := dev.Gates
+	if gates == nil {
+		gates = map[string]GateInfo{}
+	}
+	return &Platform{
+		Name:           dev.Name,
+		NumQubits:      dev.NumQubits,
+		CycleTimeNs:    dev.CycleTimeNs,
+		Gates:          gates,
+		MaxParallelOps: dev.MaxParallelOps,
+		Topology:       dev.Topology,
+		Target:         dev,
+	}
+}
+
+// AsDevice returns the device behind the platform. Hand-built platforms
+// (Target nil) synthesise an equivalent uncalibrated device from their
+// fields, so every platform has a device form — and therefore a content
+// hash.
+func (p *Platform) AsDevice() *target.Device {
+	if p.Target != nil {
+		return p.Target
+	}
+	return &target.Device{
+		Name:           p.Name,
+		NumQubits:      p.NumQubits,
+		CycleTimeNs:    p.CycleTimeNs,
+		Gates:          p.Gates,
+		MaxParallelOps: p.MaxParallelOps,
+		Topology:       p.Topology,
+	}
+}
+
+// ContentHash returns the stable content hash of the platform's device
+// form (see target.Device.Hash), computed once per platform.
+// Re-calibrating a device changes the hash, which is what lets stack
+// fingerprints — and the compile caches keyed on them — distinguish
+// device revisions.
+func (p *Platform) ContentHash() string {
+	p.hashOnce.Do(func() { p.hash = p.AsDevice().Hash() })
+	return p.hash
+}
+
+// Calibration returns the device calibration table, nil for
+// uncalibrated targets.
+func (p *Platform) Calibration() *target.Calibration {
+	if p.Target == nil {
+		return nil
+	}
+	return p.Target.Calibration
 }
 
 // Supports reports whether the platform executes the gate natively.
@@ -78,158 +151,41 @@ func (p *Platform) Validate() error {
 // primitive, connectivity is all-to-all and there are no channel limits.
 // This is the application-development target of §2.1.
 func Perfect(n int) *Platform {
-	return &Platform{
-		Name:        "perfect",
-		NumQubits:   n,
-		CycleTimeNs: 1,
-		Gates:       map[string]GateInfo{},
-	}
+	return PlatformFor(target.Perfect(n))
 }
 
-// nisqGates is the primitive set shared by the hardware-like presets:
-// microwave single-qubit rotations, flux-based CZ, measurement and reset.
-func nisqGates(single, two, meas, prep int) map[string]GateInfo {
-	return map[string]GateInfo{
-		"i":       {DurationCycles: single},
-		"rz":      {DurationCycles: single},
-		"x90":     {DurationCycles: single},
-		"mx90":    {DurationCycles: single},
-		"y90":     {DurationCycles: single},
-		"my90":    {DurationCycles: single},
-		"cz":      {DurationCycles: two},
-		"measure": {DurationCycles: meas},
-		"prep_z":  {DurationCycles: prep},
-		"wait":    {DurationCycles: 1},
-		"barrier": {DurationCycles: 0},
-	}
-}
-
-// Superconducting returns a transmon-style platform: Surface-17
-// connectivity, 20 ns cycles, 1-cycle microwave gates, 2-cycle CZ,
-// 15-cycle measurement — the experimental target of §3.1.
+// Superconducting returns the view of the transmon device preset:
+// Surface-17 connectivity, 20 ns cycles, uniform calibration — the
+// experimental target of §3.1.
 func Superconducting() *Platform {
-	return &Platform{
-		Name:           "superconducting",
-		NumQubits:      17,
-		CycleTimeNs:    20,
-		Gates:          nisqGates(1, 2, 15, 10),
-		MaxParallelOps: 0,
-		Topology:       topology.Surface17(),
-	}
+	return PlatformFor(target.Superconducting())
 }
 
-// Semiconducting returns a spin-qubit-style platform: linear array,
-// slower two-qubit exchange gates, 100 ns cycles — the second technology
-// the paper's micro-architecture was retargeted to.
+// Semiconducting returns the view of the spin-qubit device preset:
+// linear array, slower two-qubit exchange gates, 100 ns cycles — the
+// second technology the paper's micro-architecture was retargeted to.
 func Semiconducting() *Platform {
-	return &Platform{
-		Name:           "semiconducting",
-		NumQubits:      8,
-		CycleTimeNs:    100,
-		Gates:          nisqGates(1, 4, 30, 20),
-		MaxParallelOps: 2, // shared control lines restrict parallelism
-		Topology:       topology.Linear(8),
-	}
+	return PlatformFor(target.Semiconducting())
 }
 
-// platformJSON is the on-disk form, with a declarative topology spec.
-type platformJSON struct {
-	Name           string              `json:"name"`
-	NumQubits      int                 `json:"qubits"`
-	CycleTimeNs    int                 `json:"cycle_time_ns"`
-	Gates          map[string]GateInfo `json:"gates"`
-	MaxParallelOps int                 `json:"max_parallel_ops"`
-	Topology       *topologySpec       `json:"topology,omitempty"`
+// nisqGates is the shared hardware primitive set; kept as a package
+// helper for tests building bespoke platforms.
+func nisqGates(single, two, meas, prep int) map[string]GateInfo {
+	return target.NISQGates(single, two, meas, prep)
 }
 
-type topologySpec struct {
-	Kind string `json:"kind"` // linear, ring, grid, full, star, surface17, chimera
-	Rows int    `json:"rows,omitempty"`
-	Cols int    `json:"cols,omitempty"`
-	K    int    `json:"k,omitempty"`
-	// Edges lists explicit extra/custom edges for kind "custom".
-	Edges [][2]int `json:"edges,omitempty"`
-}
-
-// LoadPlatform parses a platform from its JSON configuration.
+// LoadPlatform parses a platform from device JSON (see the target
+// package for the schema; legacy platform configs are a subset of it).
 func LoadPlatform(data []byte) (*Platform, error) {
-	var pj platformJSON
-	if err := json.Unmarshal(data, &pj); err != nil {
-		return nil, fmt.Errorf("compiler: bad platform config: %w", err)
-	}
-	p := &Platform{
-		Name:           pj.Name,
-		NumQubits:      pj.NumQubits,
-		CycleTimeNs:    pj.CycleTimeNs,
-		Gates:          pj.Gates,
-		MaxParallelOps: pj.MaxParallelOps,
-	}
-	if p.Gates == nil {
-		p.Gates = map[string]GateInfo{}
-	}
-	if pj.Topology != nil {
-		topo, err := buildTopology(pj.Topology, pj.NumQubits)
-		if err != nil {
-			return nil, err
-		}
-		p.Topology = topo
-	}
-	if err := p.Validate(); err != nil {
+	dev, err := target.Parse(data)
+	if err != nil {
 		return nil, err
 	}
-	return p, nil
+	return PlatformFor(dev), nil
 }
 
-// MarshalConfig renders the platform back to JSON (custom topologies are
-// emitted as explicit edge lists).
+// MarshalConfig renders the platform's device form back to JSON
+// (topologies are emitted as explicit edge lists).
 func (p *Platform) MarshalConfig() ([]byte, error) {
-	pj := platformJSON{
-		Name:           p.Name,
-		NumQubits:      p.NumQubits,
-		CycleTimeNs:    p.CycleTimeNs,
-		Gates:          p.Gates,
-		MaxParallelOps: p.MaxParallelOps,
-	}
-	if p.Topology != nil {
-		pj.Topology = &topologySpec{Kind: "custom", Edges: p.Topology.Edges()}
-	}
-	return json.MarshalIndent(pj, "", "  ")
-}
-
-func buildTopology(spec *topologySpec, n int) (*topology.Topology, error) {
-	switch spec.Kind {
-	case "linear":
-		return topology.Linear(n), nil
-	case "ring":
-		return topology.Ring(n), nil
-	case "grid":
-		if spec.Rows*spec.Cols != n {
-			return nil, fmt.Errorf("compiler: grid %dx%d != %d qubits", spec.Rows, spec.Cols, n)
-		}
-		return topology.Grid(spec.Rows, spec.Cols), nil
-	case "full":
-		return topology.FullyConnected(n), nil
-	case "star":
-		return topology.Star(n), nil
-	case "surface17":
-		if n != 17 {
-			return nil, fmt.Errorf("compiler: surface17 requires 17 qubits, got %d", n)
-		}
-		return topology.Surface17(), nil
-	case "chimera":
-		t := topology.Chimera(spec.Rows, spec.Cols, spec.K)
-		if t.N != n {
-			return nil, fmt.Errorf("compiler: chimera(%d,%d,%d) has %d qubits, config says %d",
-				spec.Rows, spec.Cols, spec.K, t.N, n)
-		}
-		return t, nil
-	case "custom":
-		t := topology.New("custom", n)
-		for _, e := range spec.Edges {
-			t.AddEdge(e[0], e[1])
-		}
-		return t, nil
-	default:
-		return nil, fmt.Errorf("compiler: unknown topology kind %q", spec.Kind)
-	}
+	return p.AsDevice().Marshal()
 }

@@ -1,0 +1,150 @@
+package compiler
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecEntriesAndOptions(t *testing.T) {
+	entries, err := ParseSpec(" decompose , map( lookahead = 8 , strategy = noise ) ,schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("%d entries, want 3", len(entries))
+	}
+	if entries[0].Name != "decompose" || entries[0].Options != nil {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	m := entries[1]
+	if m.Name != "map" || m.Options["lookahead"] != "8" || m.Options["strategy"] != "noise" {
+		t.Errorf("map entry = %+v", m)
+	}
+	if entries[2].Name != "schedule" {
+		t.Errorf("entry 2 = %+v", entries[2])
+	}
+	// Empty option lists are allowed.
+	if _, err := ParseSpec("map(),schedule"); err != nil {
+		t.Errorf("map() rejected: %v", err)
+	}
+}
+
+// Malformed specs are rejected at parse time with position-carrying
+// errors, never mid-compile.
+func TestParseSpecMalformed(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantPos int // zero-based offset reported by the SpecError
+		wantMsg string
+	}{
+		{"map(", 3, "unterminated"},
+		{"map(lookahead=8", 3, "unterminated"},
+		{"map(x=)", 6, "empty value"},
+		{"map(=3)", 4, "empty option key"},
+		{"map(x)", 4, "missing '='"},
+		{"map(x=1,x=2)", 8, "duplicate option \"x\""},
+		{"map()x", 5, "expected ','"},
+		{",map", 0, "empty pass name"},
+		{"map,,schedule", 4, "empty pass name"},
+		{"map,", 4, "empty pass name"},
+		{"", 0, "empty pass spec"},
+		{"   ", 0, "empty pass spec"},
+		{"map)x", 3, "unexpected"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("spec %q accepted", tc.spec)
+			continue
+		}
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("spec %q: error %T does not carry a position: %v", tc.spec, err, err)
+			continue
+		}
+		if se.Pos != tc.wantPos {
+			t.Errorf("spec %q: error at col %d, want col %d (%v)", tc.spec, se.Pos+1, tc.wantPos+1, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("spec %q: error %q missing %q", tc.spec, err, tc.wantMsg)
+		}
+	}
+}
+
+// ResolveSpec rejects unknown passes, options on optionless passes and
+// invalid option values for the map passes — all before compilation.
+func TestResolveSpecValidatesOptions(t *testing.T) {
+	for _, tc := range []struct {
+		spec    string
+		wantMsg string
+	}{
+		{"teleport", "unknown pass"},
+		{"decompose(x=1),schedule", "takes no options"},
+		{"map(zoom=2)", "unknown option"},
+		{"map(strategy=warp)", "not hop or noise"},
+		{"map-noise(strategy=noise)", "unknown option"},
+		{"map(lookahead=maybe)", "lookahead"},
+		{"map(lookahead=-2)", "positive"},
+		{"map(window=-1)", "positive"},
+		{"map(placement=random)", "not trivial or greedy"},
+	} {
+		_, err := ResolveSpec(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("spec %q: error %v, want substring %q", tc.spec, err, tc.wantMsg)
+		}
+	}
+	bound, err := ResolveSpec("decompose,map-noise(lookahead=4,placement=greedy),schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bound) != 3 || bound[1].Pass.Name() != "map-noise" || bound[1].Options["lookahead"] != "4" {
+		t.Errorf("bound = %+v", bound)
+	}
+}
+
+func TestPassOptionsGetters(t *testing.T) {
+	o := PassOptions{"a": "8", "b": "true", "c": "x"}
+	if n, err := o.Int("a", 0); err != nil || n != 8 {
+		t.Errorf("Int(a) = %d, %v", n, err)
+	}
+	if n, err := o.Int("missing", 7); err != nil || n != 7 {
+		t.Errorf("Int default = %d, %v", n, err)
+	}
+	if _, err := o.Int("c", 0); err == nil {
+		t.Error("Int(c) accepted non-integer")
+	}
+	if b, err := o.Bool("b", false); err != nil || !b {
+		t.Errorf("Bool(b) = %v, %v", b, err)
+	}
+	if _, err := o.Bool("c", false); err == nil {
+		t.Error("Bool(c) accepted non-boolean")
+	}
+	if o.String("c", "") != "x" || o.String("missing", "d") != "d" {
+		t.Error("String getter wrong")
+	}
+}
+
+// mapOptionsFrom overlays spec options onto the context's MapOptions.
+func TestMapOptionsOverlay(t *testing.T) {
+	base := MapOptions{Placement: TrivialPlacement}
+	opts, strategy, err := mapOptionsFrom(base, PassOptions{
+		"lookahead": "8", "placement": "greedy", "strategy": "noise",
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.Lookahead || opts.LookaheadWindow != 8 || opts.Placement != GreedyPlacement || strategy != "noise" {
+		t.Errorf("opts = %+v strategy %s", opts, strategy)
+	}
+	opts, strategy, err = mapOptionsFrom(MapOptions{Lookahead: true, LookaheadWindow: 3}, PassOptions{"lookahead": "false"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Lookahead {
+		t.Errorf("lookahead=false did not disable lookahead: %+v", opts)
+	}
+	if strategy != "hop" {
+		t.Errorf("strategy defaulted to %q, want hop", strategy)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/microarch"
 	"repro/internal/openql"
 	"repro/internal/qx"
+	"repro/internal/target"
 )
 
 // Stack is one configured full-stack target.
@@ -68,53 +69,133 @@ func (s *Stack) parallelShotThreshold() int {
 	}
 }
 
+// NewStackForDevice builds the full-stack target for one device
+// description: the compiler platform is a view of the device, and — when
+// the device carries a calibration table — the stack runs in realistic
+// mode with a noise model derived from that table (NoiseFromDevice) and
+// a microcode configuration matched to the device's technology.
+// Uncalibrated devices execute as perfect-qubit stacks (their topology
+// and gate set still constrain compilation). This is how the preset
+// stacks are built, how per-job target overrides materialise in qserv,
+// and how -target device files become stacks in the CLIs.
+func NewStackForDevice(dev *target.Device, seed int64) (*Stack, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Stack{
+		Name:     dev.Name,
+		Mode:     openql.PerfectQubits,
+		Platform: compiler.PlatformFor(dev),
+		Seed:     seed,
+		Optimize: true,
+	}
+	if dev.Calibration == nil {
+		return s, nil
+	}
+	s.Mode = openql.RealisticQubits
+	s.Noise = NoiseFromDevice(dev)
+	s.Microcode = microcodeFor(dev)
+	return s, nil
+}
+
+// mustStackForDevice builds a stack for a device known to be valid (the
+// presets).
+func mustStackForDevice(dev *target.Device, seed int64) *Stack {
+	s, err := NewStackForDevice(dev, seed)
+	if err != nil {
+		panic(fmt.Sprintf("core: preset device invalid: %v", err))
+	}
+	return s
+}
+
+// microcodeFor selects the micro-architecture configuration for a
+// device: the technology preset matching its name where one exists, and
+// the transmon microcode table otherwise (custom devices share its
+// opcode set), retimed to the device's cycle time.
+func microcodeFor(dev *target.Device) *microarch.Config {
+	var cfg *microarch.Config
+	if dev.Name == "semiconducting" {
+		cfg = microarch.SemiconductingConfig()
+	} else {
+		cfg = microarch.SuperconductingConfig()
+	}
+	cfg.Name = dev.Name
+	if dev.CycleTimeNs > 0 {
+		cfg.CycleTimeNs = dev.CycleTimeNs
+	}
+	return cfg
+}
+
+// NoiseFromDevice derives the execution-layer noise model from a
+// device's calibration table: per-channel values are taken exactly when
+// the table is homogeneous and averaged otherwise (the trajectory
+// simulator models one global channel per error class). Returns nil for
+// uncalibrated devices.
+func NoiseFromDevice(dev *target.Device) *qx.NoiseModel {
+	cal := dev.Calibration
+	if cal == nil || len(cal.Qubits) == 0 {
+		return nil
+	}
+	pick := func(get func(target.QubitCalibration) float64) float64 {
+		first := get(cal.Qubits[0])
+		uniform := true
+		sum := 0.0
+		for _, qc := range cal.Qubits {
+			v := get(qc)
+			sum += v
+			if v != first {
+				uniform = false
+			}
+		}
+		if uniform {
+			return first
+		}
+		return sum / float64(len(cal.Qubits))
+	}
+	twoQ := 0.0
+	if len(cal.Edges) > 0 {
+		first := cal.Edges[0].TwoQubitError
+		uniform := true
+		sum := 0.0
+		for _, e := range cal.Edges {
+			sum += e.TwoQubitError
+			if e.TwoQubitError != first {
+				uniform = false
+			}
+		}
+		twoQ = first
+		if !uniform {
+			twoQ = sum / float64(len(cal.Edges))
+		}
+	}
+	return &qx.NoiseModel{
+		DepolarizingProb:         pick(func(q target.QubitCalibration) float64 { return q.SingleQubitError }),
+		TwoQubitDepolarizingProb: twoQ,
+		T1:                       pick(func(q target.QubitCalibration) float64 { return q.T1Ns }),
+		T2:                       pick(func(q target.QubitCalibration) float64 { return q.T2Ns }),
+		GateTimeNs:               float64(dev.CycleTimeNs),
+		ReadoutError:             pick(func(q target.QubitCalibration) float64 { return q.ReadoutError }),
+	}
+}
+
 // NewPerfect returns the application-development stack of Fig 2(b):
 // perfect qubits, all-to-all connectivity, direct QX execution.
 func NewPerfect(n int, seed int64) *Stack {
-	return &Stack{
-		Name:     "perfect",
-		Mode:     openql.PerfectQubits,
-		Platform: compiler.Perfect(n),
-		Seed:     seed,
-		Optimize: true,
-	}
+	return mustStackForDevice(target.Perfect(n), seed)
 }
 
 // NewSuperconducting returns the experimental stack of Fig 2(a)/Fig 6:
-// Surface-17 transmon platform, eQASM, micro-architecture, realistic
-// noise.
+// Surface-17 transmon device, eQASM, micro-architecture, with the noise
+// model derived from the device's calibration table.
 func NewSuperconducting(seed int64) *Stack {
-	return &Stack{
-		Name:      "superconducting",
-		Mode:      openql.RealisticQubits,
-		Platform:  compiler.Superconducting(),
-		Microcode: microarch.SuperconductingConfig(),
-		Noise:     qx.Superconducting(),
-		Seed:      seed,
-		Optimize:  true,
-	}
+	return mustStackForDevice(target.Superconducting(), seed)
 }
 
 // NewSemiconducting returns the spin-qubit retarget of the same
-// micro-architecture (§3.1): only the platform and microcode configs
-// change.
+// micro-architecture (§3.1): only the device description and microcode
+// configuration change.
 func NewSemiconducting(seed int64) *Stack {
-	return &Stack{
-		Name:      "semiconducting",
-		Mode:      openql.RealisticQubits,
-		Platform:  compiler.Semiconducting(),
-		Microcode: microarch.SemiconductingConfig(),
-		Noise: &qx.NoiseModel{
-			DepolarizingProb:         2e-3,
-			TwoQubitDepolarizingProb: 1e-2,
-			T1:                       80_000,
-			T2:                       40_000,
-			GateTimeNs:               100,
-			ReadoutError:             0.03,
-		},
-		Seed:     seed,
-		Optimize: true,
-	}
+	return mustStackForDevice(target.Semiconducting(), seed)
 }
 
 // Report is the result of a full-stack execution: every artefact from
@@ -245,14 +326,18 @@ func (s *Stack) Fingerprint() string {
 // Passes resolves to the default pipeline for Optimize, and Optimize
 // itself only enters through that resolution — so a stack configured
 // with the literal default spec shares cache entries with one configured
-// with none.
+// with none. The device content hash (topology, gate set, timings AND
+// calibration — see target.Device.Hash) is folded in, so re-calibrating
+// a device changes the compile fingerprint and invalidates cached
+// compiles built against the stale calibration.
 func (s *Stack) CompileFingerprint() string {
 	passes := s.Passes
 	if passes == "" {
 		passes = compiler.DefaultPassSpec(s.Optimize)
 	}
-	return fmt.Sprintf("%s|%s|%s|q%d|sched=%s|place=%d|la=%v|law=%d|passes=%s",
+	return fmt.Sprintf("%s|%s|%s|q%d|dev=%s|sched=%s|place=%d|la=%v|law=%d|passes=%s",
 		s.Name, s.Mode, s.Platform.Name, s.Platform.NumQubits,
+		s.Platform.ContentHash(),
 		s.Policy,
 		s.Mapping.Placement, s.Mapping.Lookahead, s.Mapping.LookaheadWindow,
 		passes)

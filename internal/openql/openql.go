@@ -15,6 +15,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/cqasm"
 	"repro/internal/eqasm"
+	"repro/internal/target"
 )
 
 // QubitMode selects the qubit abstraction of §2.1.
@@ -200,7 +201,11 @@ func sanitize(s string) string {
 
 // CompileOptions configures the compiler pipeline.
 type CompileOptions struct {
-	Mode     QubitMode
+	Mode QubitMode
+	// Target is the device to compile for; when set it takes precedence
+	// over Platform (the compiler views it through compiler.PlatformFor).
+	// The device's calibration table is what noise-aware passes read.
+	Target   *target.Device
 	Platform *compiler.Platform
 	// Optimize selects the default pass pipeline with the peephole
 	// optimiser included; ignored when Passes is set.
@@ -251,6 +256,9 @@ func assembleEQASM(ctx *compiler.PassContext) error {
 // schedule, and (for realistic targets) assemble eQASM. Options.Passes
 // selects a custom pipeline from the registered passes instead.
 func (p *Program) Compile(opts CompileOptions) (*Compiled, error) {
+	if opts.Target != nil {
+		opts.Platform = compiler.PlatformFor(opts.Target)
+	}
 	if opts.Platform == nil {
 		opts.Platform = compiler.Perfect(p.NumQubits)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cqasm"
 	"repro/internal/openql"
+	"repro/internal/target"
 )
 
 // Backend is one execution target behind the service's worker pools. Run
@@ -23,6 +24,14 @@ type Backend interface {
 	Run(r *Request, seed int64, cache *CompileCache) (*Result, bool, error)
 }
 
+// DeviceProvider is implemented by backends that expose a hardware
+// target description — the gate backends. The service uses it for the
+// /backends view and to validate per-job calibration overrides at
+// submit time.
+type DeviceProvider interface {
+	Device() *target.Device
+}
+
 // StackBackend runs gate jobs through a full core.Stack, caching compiled
 // circuits across jobs.
 type StackBackend struct {
@@ -35,6 +44,10 @@ func NewStackBackend(s *core.Stack) *StackBackend { return &StackBackend{Stack: 
 // Name returns the stack name ("perfect", "superconducting", …).
 func (b *StackBackend) Name() string { return b.Stack.Name }
 
+// Device returns the device description behind the backend's stack
+// (synthesised for hand-built platforms).
+func (b *StackBackend) Device() *target.Device { return b.Stack.Platform.AsDevice() }
+
 // Accepts reports whether the request is a gate job.
 func (b *StackBackend) Accepts(r *Request) bool { return r.CQASM != "" || r.Program != nil }
 
@@ -43,13 +56,39 @@ func (b *StackBackend) Accepts(r *Request) bool { return r.CQASM != "" || r.Prog
 // stack with those settings, so jobs on one backend can pick their
 // execution engine and compile pipeline independently. An engine override
 // reuses the cached compile (engines never change compilation); a pass
-// override keys its own cache entry through CompileFingerprint.
+// override keys its own cache entry through CompileFingerprint. A device
+// target or calibration override rebuilds the stack for the overridden
+// device (core.NewStackForDevice), whose content hash keys distinct
+// cache entries — re-calibrating never reuses stale compiles.
 func (b *StackBackend) Run(r *Request, seed int64, cache *CompileCache) (*Result, bool, error) {
 	p, err := b.program(r)
 	if err != nil {
 		return nil, false, err
 	}
 	stack := b.Stack
+	if r.Target != nil || r.Calibration != nil {
+		dev := r.Target
+		if dev == nil {
+			dev = b.Device()
+		}
+		if r.Calibration != nil {
+			dev = dev.WithCalibration(r.Calibration)
+		}
+		override, err := core.NewStackForDevice(dev, stack.Seed)
+		if err != nil {
+			return nil, false, err
+		}
+		// The device decides mode, platform, noise and microcode; the
+		// backend's compiler and execution tuning carries over.
+		override.Optimize = stack.Optimize
+		override.Policy = stack.Policy
+		override.Mapping = stack.Mapping
+		override.Passes = stack.Passes
+		override.Engine = stack.Engine
+		override.ParallelShots = stack.ParallelShots
+		override.KernelWorkers = stack.KernelWorkers
+		stack = override
+	}
 	if (r.Engine != "" && r.Engine != stack.Engine) || (r.Passes != "" && r.Passes != stack.Passes) {
 		override := *stack
 		if r.Engine != "" {

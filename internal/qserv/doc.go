@@ -38,23 +38,66 @@
 // block the perfect-qubit lane, mirroring how a heterogeneous system of
 // Fig 1 runs its co-processors independently.
 //
+// # Devices, calibration and the target API
+//
+// Every gate backend sits on a first-class device description
+// (target.Device): topology, native gate set with timings, and a
+// calibration table of measured error rates — per-qubit T1/T2 and
+// readout error, per-edge two-qubit error. GET /backends returns each
+// gate backend's full device, calibration included, plus its stable
+// content hash, in the same JSON schema jobs submit:
+//
+//	{
+//	  "name": "lab-chip", "qubits": 4, "cycle_time_ns": 20,
+//	  "gates": {"cz": {"duration": 2}, "x90": {"duration": 1}, ...},
+//	  "max_parallel_ops": 0,
+//	  "topology": {"kind": "linear"},            // or grid/ring/surface17/
+//	                                             // custom with "edges": [[0,1],...]
+//	  "calibration": {
+//	    "qubits": [{"t1_ns": 30000, "t2_ns": 20000,
+//	                "readout_error": 0.01, "single_qubit_error": 0.001}, ...],
+//	    "edges":  [{"a": 0, "b": 1, "two_qubit_error": 0.005}, ...]
+//	  }
+//	}
+//
+// A job may carry a "target" (a full device replacing the backend's —
+// the job compiles and executes against it, with mode, noise model and
+// microcode derived via core.NewStackForDevice) or a "calibration" (a
+// fresh table overlaid onto the job's device — how clients compile
+// against newer calibration data than the service booted with). Both
+// are validated at submit time and rejected with 400 when invalid:
+// malformed device JSON, wrong-size tables, non-coupler edges,
+// out-of-range error rates, or overrides aimed at non-gate backends.
+// The device content hash is part of core.Stack.CompileFingerprint, and
+// therefore of the compile-cache key: re-calibrating changes the hash,
+// so jobs against fresh calibration always recompile instead of reusing
+// artefacts routed for the stale error rates, while identical tables
+// keep hitting their own cached entry.
+//
 // # Compiler pass pipelines
 //
 // Gate compilation runs through the pass-manager compiler rather than a
 // fixed sequence: each backend stack compiles with a pipeline of named
-// passes (decompose, optimize, map, lower-swaps, schedule, assemble, …),
-// configured service-wide by Config.Passes and per job through
-// Request.Passes / the JSON "passes" field — per-job compilation
-// strategies over the same backends. Unknown pass names are rejected at
-// submit time; a spec lacking a required stage (schedule, or assemble on
-// realistic stacks) fails the job at compile time with a clear error.
-// The pass spec is part of core.Stack.CompileFingerprint, so jobs with
-// different pipelines key distinct compile-cache entries and can never
-// alias each other's artefacts. Every compiled artefact carries a
-// compiler.CompileReport — per-pass wall time, gate count, depth, added
-// SWAPs — which GET /jobs/{id} returns with the job and GET /stats
-// aggregates per backend and pass (cache hits excluded: they skipped the
-// pipeline), so operators can see where compile time goes, pass by pass.
+// passes (decompose, optimize, map, map-noise, lower-swaps, schedule,
+// assemble, …), configured service-wide by Config.Passes and per job
+// through Request.Passes / the JSON "passes" field — per-job compilation
+// strategies over the same backends. Specs carry per-pass options, e.g.
+// "map(lookahead=8,strategy=noise)" for calibration-weighted routing
+// that avoids lossy couplers (the map-noise pass; it degenerates to
+// plain hop-count mapping on uniform calibrations). Malformed specs,
+// unknown pass names and invalid options are rejected at submit time
+// with position-carrying errors; a spec lacking a required stage
+// (schedule, or assemble on realistic stacks) fails the job at compile
+// time with a clear error. The pass spec is part of
+// core.Stack.CompileFingerprint, so jobs with different pipelines key
+// distinct compile-cache entries and can never alias each other's
+// artefacts. Every compiled artefact carries a compiler.CompileReport —
+// per-pass wall time, gate count, depth, added SWAPs — which
+// GET /jobs/{id} returns with the job and GET /stats aggregates per
+// backend and pass (cache hits excluded: they skipped the pipeline),
+// including p50/p95/p99 latency percentiles from per-pass histograms,
+// so operators can see where compile time goes — averages and tails —
+// pass by pass.
 //
 // # Execution engines and parallel shots
 //
@@ -92,10 +135,12 @@
 // (seed, core count).
 //
 // The embedded HTTP API (Service.Handler) exposes POST /submit,
-// GET /jobs/{id} (with optional ?wait=duration long-polling) and
-// GET /stats — queue depth, per-backend throughput, cache hit rate and
-// per-pass compile time — so operators can see where the time went, the
-// service-level analogue of the host's Amdahl accounting in
-// internal/accel. cmd/qservd wires the default heterogeneous system
-// behind this API.
+// GET /jobs/{id} (with optional ?wait=duration long-polling),
+// GET /backends — device descriptions, calibration data and content
+// hashes — and GET /stats — queue depth, per-backend throughput, cache
+// hit rate and per-pass compile latency percentiles — so operators can
+// see where the time went, the service-level analogue of the host's
+// Amdahl accounting in internal/accel. cmd/qservd wires the default
+// heterogeneous system behind this API and can serve any device JSON
+// file as an extra backend via -target.
 package qserv

@@ -10,6 +10,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/qubo"
 	"repro/internal/qx"
+	"repro/internal/target"
 )
 
 // SubmitRequest is the JSON body of POST /submit. Exactly one of CQASM or
@@ -20,13 +21,24 @@ type SubmitRequest struct {
 	QUBO    *QUBOJSON `json:"qubo,omitempty"`
 	Backend string    `json:"backend,omitempty"`
 	Engine  string    `json:"engine,omitempty"`
-	// Passes is a comma-separated compiler pass spec for this job
-	// (e.g. "decompose,optimize,map,lower-swaps,schedule,assemble");
-	// empty uses the backend's configured pipeline. Unknown pass names
-	// are rejected at submit time with 400.
+	// Passes is a comma-separated compiler pass spec for this job, with
+	// optional per-pass options (e.g. "decompose,optimize,
+	// map(lookahead=8,strategy=noise),lower-swaps,schedule,assemble");
+	// empty uses the backend's configured pipeline. Malformed specs,
+	// unknown pass names and invalid options are rejected at submit time
+	// with 400.
 	Passes string `json:"passes,omitempty"`
-	Shots  int    `json:"shots,omitempty"`
-	Seed   int64  `json:"seed,omitempty"`
+	// Target is a full device description in the device-JSON schema (see
+	// GET /backends or examples/devices/) replacing the backend's device
+	// for this job. Invalid devices are rejected with 400.
+	Target json.RawMessage `json:"target,omitempty"`
+	// Calibration overrides the calibration table of the job's device
+	// (the target when given, the backend's device otherwise). Invalid
+	// tables — wrong qubit count, non-coupler edges, out-of-range error
+	// rates — are rejected with 400.
+	Calibration *target.Calibration `json:"calibration,omitempty"`
+	Shots       int                 `json:"shots,omitempty"`
+	Seed        int64               `json:"seed,omitempty"`
 }
 
 // QUBOJSON is the wire form of a QUBO: n variables plus sparse
@@ -66,17 +78,21 @@ type SubmitResponse struct {
 
 // JobView is the JSON rendering of a job for GET /jobs/{id}.
 type JobView struct {
-	ID          string     `json:"id"`
-	Name        string     `json:"name,omitempty"`
-	Status      Status     `json:"status"`
-	Backend     string     `json:"backend"`
-	CacheHit    bool       `json:"cache_hit"`
-	Passes      string     `json:"passes,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	SubmittedAt time.Time  `json:"submitted_at"`
-	StartedAt   *time.Time `json:"started_at,omitempty"`
-	FinishedAt  *time.Time `json:"finished_at,omitempty"`
-	ElapsedMs   float64    `json:"elapsed_ms,omitempty"`
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Status   Status `json:"status"`
+	Backend  string `json:"backend"`
+	CacheHit bool   `json:"cache_hit"`
+	Passes   string `json:"passes,omitempty"`
+	// Device names the per-job target device override, when one was
+	// submitted; Recalibrated marks a per-job calibration override.
+	Device       string     `json:"device,omitempty"`
+	Recalibrated bool       `json:"recalibrated,omitempty"`
+	Error        string     `json:"error,omitempty"`
+	SubmittedAt  time.Time  `json:"submitted_at"`
+	StartedAt    *time.Time `json:"started_at,omitempty"`
+	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+	ElapsedMs    float64    `json:"elapsed_ms,omitempty"`
 	// CompileReport is the per-pass account (wall time, gate count,
 	// depth, added SWAPs) of the compile pipeline behind a gate job's
 	// result; on a cache hit it describes the original compilation.
@@ -99,13 +115,17 @@ type ResultView struct {
 func viewJob(j *Job) JobView {
 	submitted, started, finished := j.Times()
 	v := JobView{
-		ID:          j.ID,
-		Name:        j.Req.Name,
-		Status:      j.Status(),
-		Backend:     j.Backend(),
-		CacheHit:    j.CacheHit(),
-		Passes:      j.Req.Passes,
-		SubmittedAt: submitted,
+		ID:           j.ID,
+		Name:         j.Req.Name,
+		Status:       j.Status(),
+		Backend:      j.Backend(),
+		CacheHit:     j.CacheHit(),
+		Passes:       j.Req.Passes,
+		Recalibrated: j.Req.Calibration != nil,
+		SubmittedAt:  submitted,
+	}
+	if j.Req.Target != nil {
+		v.Device = j.Req.Target.Name
 	}
 	if !started.IsZero() {
 		v.StartedAt = &started
@@ -148,12 +168,14 @@ func viewJob(j *Job) JobView {
 //
 //	POST /submit        submit a job (202, or 503 when the queue is full)
 //	GET  /jobs/{id}     job status and result; ?wait=2s long-polls
+//	GET  /backends      registered backends with device + calibration data
 //	GET  /stats         queue depth, per-backend throughput, cache hit rate
 //	GET  /healthz       liveness probe
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /submit", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /backends", s.handleBackends)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -168,13 +190,22 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := Request{
-		Name:    sr.Name,
-		CQASM:   sr.CQASM,
-		Backend: sr.Backend,
-		Engine:  sr.Engine,
-		Passes:  sr.Passes,
-		Shots:   sr.Shots,
-		Seed:    sr.Seed,
+		Name:        sr.Name,
+		CQASM:       sr.CQASM,
+		Backend:     sr.Backend,
+		Engine:      sr.Engine,
+		Passes:      sr.Passes,
+		Calibration: sr.Calibration,
+		Shots:       sr.Shots,
+		Seed:        sr.Seed,
+	}
+	if len(sr.Target) > 0 {
+		dev, err := target.Parse(sr.Target)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Target = dev
 	}
 	if sr.QUBO != nil {
 		q, err := sr.QUBO.toQUBO()
@@ -228,6 +259,10 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]BackendView{"backends": s.Backends()})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

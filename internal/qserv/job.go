@@ -2,6 +2,7 @@ package qserv
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/openql"
 	"repro/internal/qubo"
 	"repro/internal/qx"
+	"repro/internal/target"
 )
 
 // Status is the lifecycle state of a job.
@@ -46,11 +48,26 @@ type Request struct {
 	// annealing backends.
 	Engine string
 	// Passes is a comma-separated compiler pass spec for this job's gate
-	// compilation (e.g. "decompose,optimize,map,lower-swaps,schedule,
-	// assemble"); empty uses the backend stack's configured pipeline.
-	// Part of the compile-cache key, so jobs with different pipelines
-	// never share a compiled artefact. Ignored by annealing backends.
+	// compilation, with optional per-pass options (e.g. "decompose,
+	// map(lookahead=8,strategy=noise),lower-swaps,schedule,assemble");
+	// empty uses the backend stack's configured pipeline. Part of the
+	// compile-cache key, so jobs with different pipelines never share a
+	// compiled artefact. Ignored by annealing backends.
 	Passes string
+	// Target replaces the backend's device for this job: compilation,
+	// noise-aware mapping and execution-mode selection all run against
+	// this device description, and its content hash keys the compile
+	// cache. Only gate backends accept targets; invalid devices are
+	// rejected at submit time.
+	Target *target.Device
+	// Calibration overrides the calibration table of the job's device
+	// (the Target when set, the backend's device otherwise) — how a
+	// client compiles against fresher calibration data than the service
+	// was started with. The re-calibrated device hashes differently, so
+	// the job never reuses compile-cache entries built against the stale
+	// table. Requires a calibrated gate backend or an explicit Target;
+	// invalid tables are rejected at submit time.
+	Calibration *target.Calibration
 	// Shots is the number of executions aggregated into the result
 	// (gate jobs); defaults to the service's DefaultShots.
 	Shots int
@@ -80,12 +97,27 @@ func (r *Request) validate() error {
 		}
 	}
 	if r.Passes != "" {
-		// Reject unknown pass names at submit time; mode-dependent checks
-		// (schedule/assemble presence) surface when the job compiles.
+		// Reject malformed specs, unknown pass names and invalid pass
+		// options at submit time; mode-dependent checks (schedule/assemble
+		// presence) surface when the job compiles.
 		if _, err := compiler.ParsePassSpec(r.Passes); err != nil {
 			return err
 		}
 	}
+	if (r.Target != nil || r.Calibration != nil) && r.QUBO != nil {
+		return errors.New("qserv: device targets and calibration overrides apply to gate jobs only")
+	}
+	if r.Target != nil {
+		dev := r.Target
+		if r.Calibration != nil {
+			dev = dev.WithCalibration(r.Calibration)
+		}
+		if err := dev.Validate(); err != nil {
+			return err
+		}
+	}
+	// A calibration override without a target is validated against the
+	// routed backend's device in Submit.
 	return nil
 }
 

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/target"
 )
 
 // ErrQueueFull is returned by Submit when the bounded job queue is at
@@ -90,13 +92,60 @@ type backendPool struct {
 	passAgg map[string]*passAggregate
 }
 
-// passAggregate is one pass's running totals within a pool.
+// latencyBuckets sizes the per-pass latency histograms: geometric
+// buckets doubling from 128 ns, spanning sub-microsecond passes to
+// multi-second outliers in 36 buckets.
+const latencyBuckets = 36
+
+// latencyBucket maps a wall time to its histogram bucket: bucket 0 is
+// [0, 128 ns), bucket i ≥ 1 covers [128·2^(i-1), 128·2^i) ns.
+func latencyBucket(ns int64) int {
+	b := 0
+	for v := ns >> 7; v > 0 && b < latencyBuckets-1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// bucketMidUs is the representative value of a bucket in microseconds:
+// the geometric midpoint of its bounds.
+func bucketMidUs(b int) float64 {
+	if b == 0 {
+		return 64.0 / 1e3 // midpoint of [0, 128) ns
+	}
+	lo := float64(int64(128) << (b - 1))
+	return lo * math.Sqrt2 / 1e3
+}
+
+// passAggregate is one pass's running totals within a pool, plus the
+// latency histogram its percentiles are read from.
 type passAggregate struct {
 	runs     uint64
 	ns       int64
 	gatesIn  uint64
 	gatesOut uint64
 	swaps    uint64
+	hist     [latencyBuckets]uint64
+}
+
+// quantileUs estimates the q-quantile (0 < q ≤ 1) of the pass's wall
+// times from its histogram, in microseconds.
+func (a *passAggregate) quantileUs(q float64) float64 {
+	if a.runs == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(a.runs)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for b, n := range a.hist {
+		cum += n
+		if cum >= rank {
+			return bucketMidUs(b)
+		}
+	}
+	return bucketMidUs(latencyBuckets - 1)
 }
 
 // recordCompile folds one compile report into the pool's per-pass totals.
@@ -117,6 +166,7 @@ func (p *backendPool) recordCompile(rep *compiler.CompileReport) {
 		a.gatesIn += uint64(m.GatesBefore)
 		a.gatesOut += uint64(m.GatesAfter)
 		a.swaps += uint64(m.AddedSwaps)
+		a.hist[latencyBucket(m.WallNs)]++
 	}
 }
 
@@ -136,6 +186,9 @@ func (p *backendPool) passStats() []PassStats {
 			GatesIn:    a.gatesIn,
 			GatesOut:   a.gatesOut,
 			AddedSwaps: a.swaps,
+			P50Us:      a.quantileUs(0.50),
+			P95Us:      a.quantileUs(0.95),
+			P99Us:      a.quantileUs(0.99),
 		}
 		if a.runs > 0 {
 			ps.AvgUs = float64(a.ns) / float64(a.runs) / 1e3
@@ -304,6 +357,9 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := validateDeviceOverrides(&req, pool.b); err != nil {
+		return nil, err
+	}
 	n := s.seq.Add(1)
 	seed := req.Seed
 	if seed == 0 {
@@ -323,6 +379,33 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	s.jobs[job.ID] = job
 	s.submitted.Add(1)
 	return job, nil
+}
+
+// validateDeviceOverrides checks a request's device target / calibration
+// override against the backend it routed to, so invalid overrides are
+// rejected at submit time (HTTP 400) instead of failing the job later.
+// Request.validate has already vetted the target device itself; what is
+// left is backend compatibility: only gate backends take overrides, and
+// a bare calibration override needs a calibrated backend device to
+// overlay (or an explicit target).
+func validateDeviceOverrides(req *Request, b Backend) error {
+	if req.Target == nil && req.Calibration == nil {
+		return nil
+	}
+	dp, ok := b.(DeviceProvider)
+	if !ok {
+		return fmt.Errorf("qserv: backend %q takes no device target or calibration override", b.Name())
+	}
+	if req.Target == nil && req.Calibration != nil {
+		dev := dp.Device()
+		if dev.Calibration == nil {
+			return fmt.Errorf("qserv: backend %q is uncalibrated; submit a full \"target\" to calibrate it", b.Name())
+		}
+		if err := dev.WithCalibration(req.Calibration).Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // route resolves the request's target pool: by name when given, else the
@@ -367,6 +450,42 @@ func (s *Service) Await(ctx context.Context, id string) (*Job, error) {
 	return j, nil
 }
 
+// BackendView is one backend's slice of the GET /backends report: its
+// identity and — for gate backends — the full device description behind
+// it, calibration included, plus the device content hash clients can use
+// to detect re-calibrations.
+type BackendView struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"` // "gate" or "accelerator"
+	Workers int    `json:"workers"`
+	// Device is the hardware target behind a gate backend (topology as
+	// an explicit edge list, native gates, timings, calibration).
+	Device *target.Device `json:"device,omitempty"`
+	// DeviceHash is the device's stable content hash; it changes
+	// whenever the device — including its calibration — changes.
+	DeviceHash string `json:"device_hash,omitempty"`
+}
+
+// Backends describes every registered backend, exposing gate backends'
+// devices and calibration data — the discovery half of the target API.
+func (s *Service) Backends() []BackendView {
+	s.mu.Lock()
+	pools := make([]*backendPool, len(s.pools))
+	copy(pools, s.pools)
+	s.mu.Unlock()
+	out := make([]BackendView, 0, len(pools))
+	for _, p := range pools {
+		bv := BackendView{Name: p.b.Name(), Kind: "accelerator", Workers: p.workers}
+		if dp, ok := p.b.(DeviceProvider); ok {
+			bv.Kind = "gate"
+			bv.Device = dp.Device()
+			bv.DeviceHash = bv.Device.Hash()
+		}
+		out = append(out, bv)
+	}
+	return out
+}
+
 // PassStats is one compiler pass's aggregated slice of the /stats report:
 // how often the pass ran across this backend's compiles, the wall time it
 // consumed, and the gate-count work it did.
@@ -375,6 +494,12 @@ type PassStats struct {
 	Runs    uint64  `json:"runs"`
 	TotalMs float64 `json:"total_ms"`
 	AvgUs   float64 `json:"avg_us"`
+	// P50Us/P95Us/P99Us are latency percentiles estimated from a
+	// geometric-bucket histogram of the pass's wall times, so tail
+	// compile time is visible per backend and pass, not just averages.
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	P99Us float64 `json:"p99_us"`
 	// GatesIn and GatesOut sum the circuit sizes entering and leaving
 	// the pass across all runs.
 	GatesIn    uint64 `json:"gates_in"`

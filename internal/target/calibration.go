@@ -1,0 +1,183 @@
+package target
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// QubitCalibration is the measured error data of one physical qubit.
+type QubitCalibration struct {
+	// T1Ns and T2Ns are relaxation/dephasing times in nanoseconds; zero
+	// disables the corresponding decoherence channel.
+	T1Ns float64 `json:"t1_ns"`
+	T2Ns float64 `json:"t2_ns"`
+	// ReadoutError is the probability a measurement outcome is flipped.
+	ReadoutError float64 `json:"readout_error"`
+	// SingleQubitError is the depolarising probability per single-qubit
+	// gate on this qubit.
+	SingleQubitError float64 `json:"single_qubit_error,omitempty"`
+}
+
+// EdgeCalibration is the measured two-qubit gate error of one coupler.
+type EdgeCalibration struct {
+	A int `json:"a"`
+	B int `json:"b"`
+	// TwoQubitError is the depolarising probability per two-qubit gate
+	// across this edge.
+	TwoQubitError float64 `json:"two_qubit_error"`
+}
+
+// Calibration is a device's measured error table: one entry per qubit
+// plus one entry per coupled pair. It is the data a noise-aware compiler
+// pass weighs placement and routing decisions by, and the data the
+// execution layer derives its noise model from.
+type Calibration struct {
+	Qubits []QubitCalibration `json:"qubits"`
+	Edges  []EdgeCalibration  `json:"edges,omitempty"`
+}
+
+// Clone returns a deep copy.
+func (c *Calibration) Clone() *Calibration {
+	out := &Calibration{
+		Qubits: append([]QubitCalibration(nil), c.Qubits...),
+		Edges:  append([]EdgeCalibration(nil), c.Edges...),
+	}
+	return out
+}
+
+// Validate checks the table against a device of n qubits with the given
+// topology (nil = all-to-all): one entry per qubit, probabilities in
+// [0, 1), non-negative coherence times, and every edge entry naming a
+// coupler that exists (at most once).
+func (c *Calibration) Validate(n int, topo *topology.Topology) error {
+	if len(c.Qubits) != n {
+		return fmt.Errorf("calibration has %d qubit entries, device has %d qubits", len(c.Qubits), n)
+	}
+	for q, qc := range c.Qubits {
+		if qc.T1Ns < 0 || qc.T2Ns < 0 {
+			return fmt.Errorf("calibration qubit %d has negative T1/T2", q)
+		}
+		if qc.ReadoutError < 0 || qc.ReadoutError >= 1 {
+			return fmt.Errorf("calibration qubit %d readout error %g outside [0,1)", q, qc.ReadoutError)
+		}
+		if qc.SingleQubitError < 0 || qc.SingleQubitError >= 1 {
+			return fmt.Errorf("calibration qubit %d single-qubit error %g outside [0,1)", q, qc.SingleQubitError)
+		}
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range c.Edges {
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		if a < 0 || b >= n || a == b {
+			return fmt.Errorf("calibration edge (%d,%d) out of range for %d qubits", e.A, e.B, n)
+		}
+		if topo != nil && !topo.Adjacent(e.A, e.B) {
+			return fmt.Errorf("calibration edge (%d,%d) is not a coupler of the topology", e.A, e.B)
+		}
+		if seen[[2]int{a, b}] {
+			return fmt.Errorf("calibration edge (%d,%d) listed twice", e.A, e.B)
+		}
+		seen[[2]int{a, b}] = true
+		if e.TwoQubitError < 0 || e.TwoQubitError >= 1 {
+			return fmt.Errorf("calibration edge (%d,%d) two-qubit error %g outside [0,1)", e.A, e.B, e.TwoQubitError)
+		}
+	}
+	return nil
+}
+
+// EdgeError returns the two-qubit error of the (a,b) coupler, in either
+// orientation; pairs without an entry report zero error.
+func (c *Calibration) EdgeError(a, b int) float64 {
+	if c == nil {
+		return 0
+	}
+	for _, e := range c.Edges {
+		if (e.A == a && e.B == b) || (e.A == b && e.B == a) {
+			return e.TwoQubitError
+		}
+	}
+	return 0
+}
+
+// Qubit returns qubit q's calibration (the zero value when q is out of
+// range or the table is nil).
+func (c *Calibration) Qubit(q int) QubitCalibration {
+	if c == nil || q < 0 || q >= len(c.Qubits) {
+		return QubitCalibration{}
+	}
+	return c.Qubits[q]
+}
+
+// UniformEdges reports whether every edge of the topology carries the
+// same two-qubit error — a calibration with no routing signal. A nil
+// topology (all-to-all) is uniform exactly when every listed edge error
+// is equal and covers the same value as unlisted pairs (i.e. all zero,
+// or all equal with every qubit pair listed).
+func (c *Calibration) UniformEdges(topo *topology.Topology) bool {
+	if c == nil {
+		return true
+	}
+	if topo == nil {
+		if len(c.Edges) == 0 {
+			return true
+		}
+		first := c.Edges[0].TwoQubitError
+		for _, e := range c.Edges[1:] {
+			if e.TwoQubitError != first {
+				return false
+			}
+		}
+		if first == 0 {
+			return true
+		}
+		// Nonzero uniform error only counts as uniform when no pair is
+		// left at the implicit zero default.
+		n := len(c.Qubits)
+		return len(c.Edges) == n*(n-1)/2
+	}
+	edges := topo.Edges()
+	if len(edges) == 0 {
+		return true
+	}
+	first := c.EdgeError(edges[0][0], edges[0][1])
+	for _, e := range edges[1:] {
+		if c.EdgeError(e[0], e[1]) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// Uniform builds a homogeneous calibration: every qubit carries the same
+// coherence/readout/gate-error figures and every topology edge the same
+// two-qubit error. It is how the presets express their data sheets and a
+// convenient base for tests that skew a single qubit or edge.
+func Uniform(n int, topo *topology.Topology, qc QubitCalibration, twoQubitError float64) *Calibration {
+	cal := &Calibration{Qubits: make([]QubitCalibration, n)}
+	for i := range cal.Qubits {
+		cal.Qubits[i] = qc
+	}
+	if topo != nil {
+		for _, e := range topo.Edges() {
+			cal.Edges = append(cal.Edges, EdgeCalibration{A: e[0], B: e[1], TwoQubitError: twoQubitError})
+		}
+	}
+	return cal
+}
+
+// SetEdgeError sets (or adds) the two-qubit error of the (a,b) coupler
+// in place, returning the calibration for chaining — the test-and-tool
+// hook for skewing one edge of a uniform table.
+func (c *Calibration) SetEdgeError(a, b int, p float64) *Calibration {
+	for i, e := range c.Edges {
+		if (e.A == a && e.B == b) || (e.A == b && e.B == a) {
+			c.Edges[i].TwoQubitError = p
+			return c
+		}
+	}
+	c.Edges = append(c.Edges, EdgeCalibration{A: a, B: b, TwoQubitError: p})
+	return c
+}

@@ -1,0 +1,97 @@
+package target
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenPath locates the checked-in device files relative to this
+// package.
+func goldenPath(name string) string {
+	return filepath.Join("..", "..", "examples", "devices", name+".json")
+}
+
+// The golden files under examples/devices/ are the canonical wire form
+// of the three presets: byte-identical to Marshal, and parsing them
+// yields a device hash-equal to the in-code preset. They double as the
+// reference schema for user-authored device files.
+func TestPresetGoldenFiles(t *testing.T) {
+	for _, name := range PresetNames() {
+		want, err := os.ReadFile(goldenPath(name))
+		if err != nil {
+			t.Fatalf("golden file for preset %q missing: %v", name, err)
+		}
+		d, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("preset %q drifted from examples/devices/%s.json — regenerate the golden file", name, name)
+		}
+		parsed, err := Parse(want)
+		if err != nil {
+			t.Fatalf("golden file for %q does not parse: %v", name, err)
+		}
+		if parsed.Hash() != d.Hash() {
+			t.Errorf("golden file for %q parses to hash %s, preset has %s",
+				name, parsed.Hash()[:12], d.Hash()[:12])
+		}
+	}
+}
+
+// LoadFile and OverlayCalibrationFile back the CLIs' -target and
+// -calibration flags.
+func TestLoadFileAndCalibrationOverlay(t *testing.T) {
+	dev, err := LoadFile(goldenPath("semiconducting"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Hash() != Semiconducting().Hash() {
+		t.Error("loaded device differs from the preset")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing device file accepted")
+	}
+
+	fresh := Semiconducting().Calibration
+	fresh.SetEdgeError(0, 1, 0.09)
+	data, err := json.Marshal(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calPath := filepath.Join(t.TempDir(), "cal.json")
+	if err := os.WriteFile(calPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recal, err := OverlayCalibrationFile(dev, calPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recal.Calibration.EdgeError(0, 1) != 0.09 {
+		t.Error("overlay did not apply the fresh table")
+	}
+	if dev.Calibration.EdgeError(0, 1) == 0.09 {
+		t.Error("overlay mutated the original device")
+	}
+	if same, err := OverlayCalibrationFile(dev, ""); err != nil || same != dev {
+		t.Error("empty path must return the device unchanged")
+	}
+	if err := os.WriteFile(calPath, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OverlayCalibrationFile(dev, calPath); err == nil {
+		t.Error("malformed calibration file accepted")
+	}
+	if err := os.WriteFile(calPath, []byte(`{"qubits":[{"t1_ns":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OverlayCalibrationFile(dev, calPath); err == nil {
+		t.Error("wrong-size calibration file accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package target
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// DefaultPerfectQubits sizes the perfect preset when it is selected by
+// name (the perfect device is otherwise sized by the application; see
+// Perfect).
+const DefaultPerfectQubits = 10
+
+// NISQGates is the primitive set shared by the hardware presets:
+// microwave single-qubit rotations, flux-based CZ, measurement and
+// reset, parameterised by the four duration classes.
+func NISQGates(single, two, meas, prep int) map[string]GateSpec {
+	return map[string]GateSpec{
+		"i":       {DurationCycles: single},
+		"rz":      {DurationCycles: single},
+		"x90":     {DurationCycles: single},
+		"mx90":    {DurationCycles: single},
+		"y90":     {DurationCycles: single},
+		"my90":    {DurationCycles: single},
+		"cz":      {DurationCycles: two},
+		"measure": {DurationCycles: meas},
+		"prep_z":  {DurationCycles: prep},
+		"wait":    {DurationCycles: 1},
+		"barrier": {DurationCycles: 0},
+	}
+}
+
+// Perfect returns the perfect-qubit device over n qubits: every gate
+// primitive, all-to-all connectivity, no channel limits, no calibration
+// — the application-development target of §2.1.
+func Perfect(n int) *Device {
+	return &Device{
+		Name:        "perfect",
+		NumQubits:   n,
+		CycleTimeNs: 1,
+		Gates:       map[string]GateSpec{},
+	}
+}
+
+// Superconducting returns the transmon device: Surface-17 connectivity,
+// 20 ns cycles, 1-cycle microwave gates, 2-cycle CZ, 15-cycle
+// measurement — the experimental target of §3.1 — with a uniform
+// calibration table matching its data sheet (T1 ≈ 30 µs, T2 ≈ 20 µs,
+// 0.1 % single-qubit error, 0.5 % two-qubit error, 1 % readout error).
+func Superconducting() *Device {
+	topo := topology.Surface17()
+	return &Device{
+		Name:        "superconducting",
+		NumQubits:   17,
+		CycleTimeNs: 20,
+		Gates:       NISQGates(1, 2, 15, 10),
+		Topology:    topo,
+		Calibration: Uniform(17, topo, QubitCalibration{
+			T1Ns:             30_000,
+			T2Ns:             20_000,
+			ReadoutError:     0.01,
+			SingleQubitError: 1e-3,
+		}, 5e-3),
+	}
+}
+
+// Semiconducting returns the spin-qubit device: linear array, slower
+// exchange-based two-qubit gates, 100 ns cycles, shared control lines
+// restricting parallelism — the second technology the paper's
+// micro-architecture was retargeted to.
+func Semiconducting() *Device {
+	topo := topology.Linear(8)
+	return &Device{
+		Name:           "semiconducting",
+		NumQubits:      8,
+		CycleTimeNs:    100,
+		Gates:          NISQGates(1, 4, 30, 20),
+		MaxParallelOps: 2,
+		Topology:       topo,
+		Calibration: Uniform(8, topo, QubitCalibration{
+			T1Ns:             80_000,
+			T2Ns:             40_000,
+			ReadoutError:     0.03,
+			SingleQubitError: 2e-3,
+		}, 1e-2),
+	}
+}
+
+// presets maps preset names to constructors. Each call builds a fresh
+// Device, so callers may re-calibrate without aliasing.
+var presets = map[string]func() *Device{
+	"perfect":         func() *Device { return Perfect(DefaultPerfectQubits) },
+	"superconducting": Superconducting,
+	"semiconducting":  Semiconducting,
+}
+
+// Preset constructs one of the named built-in devices: "perfect" (sized
+// to DefaultPerfectQubits; use Perfect for other sizes),
+// "superconducting" (Surface-17) or "semiconducting" (linear spin-qubit
+// array).
+func Preset(name string) (*Device, error) {
+	ctor, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("target: unknown preset %q (available: %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	return ctor(), nil
+}
+
+// PresetNames returns the sorted preset names.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
