@@ -1,18 +1,41 @@
-# Tier-1 verification for the repro module. `make ci` is what the CI
-# workflow runs; its first step (build) is the guard that keeps the
-# go.mod regression from recurring.
+# Tier-1 verification for the repro module. `make ci` mirrors the CI
+# workflow step for step — gofmt, vet, staticcheck, race tests, the
+# target-coverage gate and the bench smoke — so local verification
+# catches everything the workflow does. Its first step (build) is the
+# guard that keeps the go.mod regression from recurring.
 
 GO ?= go
+BENCH_COUNT ?= 5
+BENCH_TOLERANCE ?= 0.20
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet test race bench cover vuln ci
+# The bench-baseline/bench-gate recipes pipe `go test` into benchgate;
+# without pipefail a failing benchmark run would exit 0 through the pipe
+# and silently emit a truncated baseline. (The CI workflow's default
+# bash shell already runs with -o pipefail.)
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: all build fmt vet staticcheck test race bench bench-smoke bench-baseline bench-gate cover vuln ci
 
 all: ci
 
 build:
 	$(GO) build ./...
 
+# gofmt with fail-on-diff, exactly like the workflow step.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
 vet:
 	$(GO) vet ./...
+
+# Correctness-class staticcheck analyses (SA*); needs network to fetch
+# the tool on first run.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -checks 'SA*' ./...
 
 test:
 	$(GO) test ./...
@@ -23,6 +46,24 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+# Run every benchmark once so benchmark code cannot rot silently.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Regenerate the committed benchmark-regression baseline (BENCH_5.json):
+# $(BENCH_COUNT) samples per benchmark, one iteration each, folded to
+# min ns/op + allocs/op by cmd/benchgate.
+bench-baseline:
+	$(GO) test -bench=. -benchtime=1x -count=$(BENCH_COUNT) -benchmem -run=^$$ . \
+		| $(GO) run ./cmd/benchgate -emit BENCH_5.json
+
+# The benchmark-regression gate the workflow runs: compare a fresh
+# $(BENCH_COUNT)-sample run against the committed baseline and fail on
+# any regression beyond ±$(BENCH_TOLERANCE).
+bench-gate:
+	$(GO) test -bench=. -benchtime=1x -count=$(BENCH_COUNT) -benchmem -run=^$$ . \
+		| $(GO) run ./cmd/benchgate -baseline BENCH_5.json -emit BENCH_5.current.json -tolerance $(BENCH_TOLERANCE)
+
 # Coverage gate on the device/target layer (mirrors the CI step).
 cover:
 	$(GO) test -coverprofile=target.cov ./internal/target
@@ -32,4 +73,4 @@ cover:
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: build vet race cover
+ci: build fmt vet staticcheck race cover bench-smoke

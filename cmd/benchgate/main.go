@@ -1,0 +1,231 @@
+// Command benchgate is the benchmark-regression gate of the CI pipeline:
+// it parses `go test -bench` output (typically from a `-count=5
+// -benchtime=1x -benchmem` run), folds the samples per benchmark into a
+// stable figure (minimum ns/op — the least-noise estimator — and
+// minimum allocs/op), emits the result as a JSON baseline, and, when a
+// committed baseline is given, fails with exit status 1 if any benchmark
+// regressed beyond the tolerance.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -count=5 -benchmem -run='^$' . | \
+//	    benchgate -emit BENCH_5.json                      # (re)generate the baseline
+//	go test -bench=. -benchtime=1x -count=5 -benchmem -run='^$' . | \
+//	    benchgate -baseline BENCH_5.json -emit BENCH_5.json -tolerance 0.20
+//
+// The baseline is read before the emit path is written, so the two flags
+// may name the same file — CI does exactly that and uploads the fresh
+// emission as a workflow artifact.
+//
+// Benchmark names are recorded with the -GOMAXPROCS suffix stripped, so
+// baselines transfer across machines with different core counts. A
+// benchmark present in the baseline but missing from the run fails the
+// gate (benchmarks must not silently disappear); new benchmarks are
+// reported and pass. ns/op regresses when
+// current > baseline·(1+tol) + slack, where the absolute slack
+// (-ns-slack, default 1ms) is the single-iteration noise floor:
+// sub-millisecond benchmarks jitter far beyond ±20% at -benchtime=1x,
+// so the relative tolerance alone would flap on them while the heavy
+// paths the gate exists for (compile pipeline, engines, caches) sit
+// well above the floor and gate at the full ±tol. allocs/op regresses
+// beyond the same relative tolerance plus a +2 absolute slack, so
+// near-zero counts don't flap on one-off lazy initialisation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's folded figures.
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// Baseline is the JSON schema of BENCH_5.json: op name → figures.
+type Baseline struct {
+	Note       string                 `json:"note"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output:
+// name, iteration count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.+)$`)
+
+// gomaxprocsSuffix strips the trailing -N processor count from a
+// benchmark name, so baselines compare across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(r io.Reader) (map[string]BenchResult, error) {
+	out := map[string]BenchResult{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		fields := strings.Fields(m[2])
+		var ns, allocs float64
+		var haveNs bool
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				ns, haveNs = v, true
+			case "allocs/op":
+				allocs = v
+			}
+		}
+		if !haveNs {
+			continue
+		}
+		cur, seen := out[name]
+		if !seen {
+			out[name] = BenchResult{NsPerOp: ns, AllocsPerOp: allocs, Samples: 1}
+			continue
+		}
+		// Fold repeated -count samples: minimum is the least-noise
+		// estimator for both time and allocations.
+		cur.NsPerOp = min(cur.NsPerOp, ns)
+		cur.AllocsPerOp = min(cur.AllocsPerOp, allocs)
+		cur.Samples++
+		out[name] = cur
+	}
+	return out, sc.Err()
+}
+
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// compare reports regressions of current against base under the
+// relative tolerance and absolute ns slack, writing a table to w. It
+// returns the number of failures.
+func compare(w io.Writer, base *Baseline, current map[string]BenchResult, tol, nsSlack float64) int {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	fmt.Fprintf(w, "%-60s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "cur ns/op", "delta", "verdict")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := current[name]
+		if !ok {
+			failures++
+			fmt.Fprintf(w, "%-60s %14.0f %14s %8s  FAIL (missing from run)\n", name, b.NsPerOp, "-", "-")
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = c.NsPerOp/b.NsPerOp - 1
+		}
+		// A benchmark counts as one failure however many figures
+		// regressed; every firing reason shows in the verdict.
+		var reasons []string
+		if c.NsPerOp > b.NsPerOp*(1+tol)+nsSlack {
+			reasons = append(reasons, fmt.Sprintf("ns/op +%.0f%% > %.0f%%", 100*delta, 100*tol))
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*(1+tol)+2 {
+			reasons = append(reasons, fmt.Sprintf("allocs/op %.0f > %.0f", c.AllocsPerOp, b.AllocsPerOp))
+		}
+		verdict := "ok"
+		if len(reasons) > 0 {
+			verdict = "FAIL (" + strings.Join(reasons, "; ") + ")"
+			failures++
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%  %s\n", name, b.NsPerOp, c.NsPerOp, 100*delta, verdict)
+	}
+	for name := range current {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%-60s %14s %14.0f %8s  new (not in baseline)\n", name, "-", current[name].NsPerOp, "-")
+		}
+	}
+	return failures
+}
+
+func main() {
+	input := flag.String("input", "-", "bench output to parse ('-' reads stdin)")
+	emit := flag.String("emit", "", "write the folded results as a JSON baseline to this path")
+	baselinePath := flag.String("baseline", "", "committed baseline to compare against (empty skips the gate)")
+	tol := flag.Float64("tolerance", 0.20, "allowed relative regression before the gate fails")
+	nsSlack := flag.Float64("ns-slack", 1e6,
+		"absolute ns/op slack added to the tolerance (single-iteration noise floor)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in input"))
+	}
+
+	// Load the baseline before writing -emit: the two may be one path.
+	var base *Baseline
+	if *baselinePath != "" {
+		if base, err = loadBaseline(*baselinePath); err != nil {
+			fatal(err)
+		}
+	}
+	if *emit != "" {
+		out := Baseline{
+			Note:       "benchmark baseline: min ns/op and allocs/op over repeated -count samples; regenerate with `make bench-baseline`",
+			Benchmarks: current,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*emit, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: wrote %d benchmarks to %s\n", len(current), *emit)
+	}
+	if base != nil {
+		if failures := compare(os.Stdout, base, current, *tol, *nsSlack); failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond ±%.0f%% tolerance\n", failures, 100**tol)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: all %d baseline benchmarks within ±%.0f%% tolerance\n",
+			len(base.Benchmarks), 100**tol)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkE1_HeterogeneousOffload-8   	       1	   1200000 ns/op	  4096 B/op	      52 allocs/op
+BenchmarkE1_HeterogeneousOffload-8   	       1	   1000000 ns/op	  4096 B/op	      50 allocs/op
+BenchmarkE2_PerfectVsRealistic/perfect-8 	       1	    500000 ns/op	         0.990 fidelity	 300 B/op	      10 allocs/op
+
+--- E1 heterogeneous offload ---
+accelerators: [gate anneal classical]
+BenchmarkPrefixCachedRecompile/cold-8 	       1	  50000000 ns/op	 100 B/op	       5 allocs/op
+PASS
+`
+
+func TestParseFoldsSamples(t *testing.T) {
+	got, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, ok := got["BenchmarkE1_HeterogeneousOffload"]
+	if !ok {
+		t.Fatalf("E1 missing (GOMAXPROCS suffix not stripped?); have %v", got)
+	}
+	if e1.NsPerOp != 1000000 || e1.AllocsPerOp != 50 || e1.Samples != 2 {
+		t.Errorf("E1 folded to %+v, want min ns/op 1000000, min allocs 50, 2 samples", e1)
+	}
+	sub, ok := got["BenchmarkE2_PerfectVsRealistic/perfect"]
+	if !ok {
+		t.Fatal("sub-benchmark missing")
+	}
+	// The custom "fidelity" metric must not be mistaken for ns or allocs.
+	if sub.NsPerOp != 500000 || sub.AllocsPerOp != 10 {
+		t.Errorf("sub-benchmark parsed as %+v", sub)
+	}
+	if _, ok := got["BenchmarkPrefixCachedRecompile/cold"]; !ok {
+		t.Error("benchmark after non-benchmark report lines missing")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]BenchResult{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkC": {NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkD": {NsPerOp: 1000, AllocsPerOp: 0},
+	}}
+	current := map[string]BenchResult{
+		"BenchmarkA": {NsPerOp: 1150, AllocsPerOp: 11}, // within ±20%
+		"BenchmarkB": {NsPerOp: 1300, AllocsPerOp: 10}, // ns regression
+		// BenchmarkC missing: must fail.
+		"BenchmarkD": {NsPerOp: 900, AllocsPerOp: 2},  // within absolute alloc slack
+		"BenchmarkE": {NsPerOp: 5000, AllocsPerOp: 1}, // new: must pass
+	}
+	var sb strings.Builder
+	if failures := compare(&sb, base, current, 0.20, 0); failures != 2 {
+		t.Errorf("got %d failures, want 2 (ns regression + missing benchmark)\n%s", failures, sb.String())
+	}
+	// Alloc regression beyond tolerance+slack fails.
+	current["BenchmarkA"] = BenchResult{NsPerOp: 1000, AllocsPerOp: 20}
+	if failures := compare(&strings.Builder{}, base, current, 0.20, 0); failures != 3 {
+		t.Errorf("alloc regression not caught: got %d failures, want 3", failures)
+	}
+	// A benchmark regressing on both figures counts once, and the verdict
+	// names both reasons.
+	current["BenchmarkA"] = BenchResult{NsPerOp: 2000, AllocsPerOp: 20}
+	var both strings.Builder
+	if failures := compare(&both, base, current, 0.20, 0); failures != 3 {
+		t.Errorf("double regression double-counted: got %d failures, want 3", failures)
+	}
+	if out := both.String(); !strings.Contains(out, "ns/op +100%") || !strings.Contains(out, "allocs/op 20") {
+		t.Errorf("verdict must name both regressed figures:\n%s", out)
+	}
+}
+
+// TestCompareNsSlack pins the noise-floor behaviour: sub-slack jitter
+// passes regardless of the relative tolerance, while regressions that
+// clear both the tolerance and the slack still fail.
+func TestCompareNsSlack(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]BenchResult{
+		"BenchmarkTiny":  {NsPerOp: 100_000, AllocsPerOp: 5},    // 100µs micro-bench
+		"BenchmarkHeavy": {NsPerOp: 50_000_000, AllocsPerOp: 5}, // 50ms compile-path bench
+	}}
+	current := map[string]BenchResult{
+		"BenchmarkTiny":  {NsPerOp: 300_000, AllocsPerOp: 5},    // 3x, but under the 1ms floor
+		"BenchmarkHeavy": {NsPerOp: 65_000_000, AllocsPerOp: 5}, // +30%: a real regression
+	}
+	if failures := compare(&strings.Builder{}, base, current, 0.20, 1e6); failures != 1 {
+		t.Errorf("got %d failures, want 1 (heavy regression only)", failures)
+	}
+}

@@ -9,7 +9,13 @@
 //
 //	openqlc [-platform name] [-target device.json] [-calibration cal.json]
 //	        [-emit cqasm|eqasm] [-schedule asap|alap] [-opt] [-lookahead]
-//	        [-passes spec] file.cq
+//	        [-passes spec] [-compile-workers N] file.cq
+//
+// Multi-kernel programs compile kernel-by-kernel through the pipeline's
+// platform-generic prefix (decompose/optimize/fold-rotations);
+// -compile-workers bounds how many kernels compile concurrently (0 or 1
+// is serial — identical artefacts either way), and the per-pass report
+// includes the per-kernel prefix breakdown.
 //
 // The compilation target is a device description: one of the built-in
 // presets (-platform perfect|superconducting|semiconducting) or a device
@@ -54,6 +60,8 @@ func main() {
 			"(default: the standard flow; available: "+
 			strings.Join(compiler.PassNames(), ", ")+")")
 	stats := flag.Bool("stats", true, "print per-pass compilation statistics to stderr")
+	compileWorkers := flag.Int("compile-workers", 1,
+		"kernels compiled concurrently through the platform-generic prefix passes (0/1 serial)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: openqlc [flags] file.cq")
@@ -94,6 +102,7 @@ func main() {
 		Policy:   policy,
 		Mapping:  compiler.MapOptions{Lookahead: *lookahead},
 		Passes:   *passes,
+		Workers:  *compileWorkers,
 	})
 	if err != nil {
 		fatal(err)

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	qservd [-addr :8080] [-qubits 10] [-workers 2] [-queue 256] [-cache 512]
-//	       [-shots 1024] [-seed 1] [-engine optimized] [-passes spec]
+//	       [-prefix-cache 2048] [-compile-workers N] [-shots 1024] [-seed 1]
+//	       [-engine optimized] [-passes spec]
 //	       [-target device.json] [-calibration cal.json]
 //
 // API:
@@ -31,9 +32,20 @@
 // stack. "target" submits a full device description for one job and
 // "calibration" overlays fresh calibration data onto the job's device —
 // both are validated at submit time (400 on invalid input) and key the
-// compile cache through the device content hash, so re-calibration never
-// reuses stale compiled artefacts. The device-JSON schema is what
-// GET /backends returns; examples live under examples/devices/.
+// full-artefact compile cache through the device content hash, so
+// re-calibration never reuses stale compiled artefacts. The device-JSON
+// schema is what GET /backends returns; examples live under
+// examples/devices/.
+//
+// Compilation is two-level cached: beside the full-artefact cache
+// (-cache), a prefix cache (-prefix-cache) holds per-kernel
+// platform-generic artefacts (decompose/optimize output) keyed by gate
+// set rather than device hash, so jobs that only change mapping,
+// scheduling or calibration recompile suffix-only. Kernels compile
+// concurrently up to the -compile-workers budget, shared service-wide
+// via one semaphore so compile parallelism never multiplies with the
+// worker pools. GET /stats reports both cache levels and per-backend
+// prefix_hits.
 //
 // -target adds the device in the given JSON file as an additional gate
 // backend (named after the device); -calibration overlays a calibration
@@ -65,6 +77,10 @@ func main() {
 	workers := flag.Int("workers", 2, "workers per backend pool")
 	queue := flag.Int("queue", 256, "bounded job queue size")
 	cache := flag.Int("cache", 512, "compiled-circuit cache entries (negative disables)")
+	prefixCache := flag.Int("prefix-cache", 0,
+		"prefix-artefact cache entries (0 defaults to 4x -cache; negative disables)")
+	compileWorkers := flag.Int("compile-workers", 0,
+		"service-wide kernel-compile parallelism budget (0 = GOMAXPROCS; negative serial)")
 	shots := flag.Int("shots", 1024, "default shots per gate job")
 	seed := flag.Int64("seed", 1, "base seed for per-job seed derivation")
 	engine := flag.String("engine", qx.DefaultEngine,
@@ -90,13 +106,15 @@ func main() {
 	}
 
 	svc := qserv.DefaultService(qserv.Config{
-		QueueSize:      *queue,
-		DefaultWorkers: *workers,
-		DefaultShots:   *shots,
-		CacheSize:      *cache,
-		Seed:           *seed,
-		Engine:         *engine,
-		Passes:         *passes,
+		QueueSize:       *queue,
+		DefaultWorkers:  *workers,
+		DefaultShots:    *shots,
+		CacheSize:       *cache,
+		PrefixCacheSize: *prefixCache,
+		CompileWorkers:  *compileWorkers,
+		Seed:            *seed,
+		Engine:          *engine,
+		Passes:          *passes,
 	}, *qubits, *workers)
 
 	backends := "perfect, superconducting, semiconducting, annealer, classical"

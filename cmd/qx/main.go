@@ -4,7 +4,7 @@
 // Usage:
 //
 //	qx [-shots N] [-seed S] [-engine E] [-parallel W] [-passes spec]
-//	   [-target device.json] [-calibration cal.json]
+//	   [-compile-workers N] [-target device.json] [-calibration cal.json]
 //	   [-depolarizing P] [-readout P] [-state] file.cq
 //
 // With -passes the circuit first runs through the compiler pass pipeline
@@ -43,6 +43,8 @@ func main() {
 	passes := flag.String("passes", "",
 		"compile through this pass pipeline before executing (available: "+
 			strings.Join(compiler.PassNames(), ", ")+"); empty runs the circuit as written")
+	compileWorkers := flag.Int("compile-workers", 1,
+		"kernels compiled concurrently through the platform-generic prefix passes (0/1 serial)")
 	targetPath := flag.String("target", "",
 		"device JSON file: compile for this device and derive noise from its calibration")
 	calibPath := flag.String("calibration", "",
@@ -83,7 +85,7 @@ func main() {
 	}
 
 	if *passes != "" || dev != nil {
-		opts := openql.CompileOptions{Mode: openql.PerfectQubits, Passes: *passes}
+		opts := openql.CompileOptions{Mode: openql.PerfectQubits, Passes: *passes, Workers: *compileWorkers}
 		if dev != nil {
 			opts.Target = dev
 		} else {

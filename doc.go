@@ -55,6 +55,27 @@
 // qserv job views and /stats (with p50/p95/p99 latency percentiles per
 // backend and pass), and the CLI pass reports.
 //
+// Compilation itself is two-level (compiler.Pipeline.Split): the
+// platform-generic prefix of a pipeline — the leading decompose/
+// optimize/fold-rotations run, whose output depends only on the circuit
+// and the native gate set — compiles kernel by kernel, concurrently up
+// to a worker budget (openql.CompileOptions.Workers, core.Stack.
+// CompileWorkers, -compile-workers on the CLIs) bounded service-wide by
+// a shared compiler.WorkerGate, with the per-kernel artefacts
+// concatenated deterministically before the variant suffix (mapping,
+// scheduling, assembly) runs over the whole program. Kernel boundaries
+// are optimisation barriers, so every kernel's prefix artefact
+// (compiler.PrefixArtefact) is reusable by any program embedding the
+// same kernel. Prefix artefacts cache independently of the full
+// compiled artefacts: keyed by gate-set hash + prefix spec + kernel
+// content hash (compiler.PrefixKey, openql.Kernel.ContentHash,
+// core.Stack.PrefixFingerprint) rather than the device content hash, so
+// a recompile that only changes mapping options, scheduling policy or
+// calibration re-runs just the suffix — the ≥2x cached-recompile win
+// BenchmarkPrefixCachedRecompile measures, locked in by the CI
+// benchmark-regression gate (cmd/benchgate against the committed
+// BENCH_5.json baseline).
+//
 // The execution layer itself is pluggable: internal/qx defines an Engine
 // interface — execute a compiled circuit into sampled counts or a final
 // state — with two implementations, the naive reference engine and the
@@ -72,11 +93,15 @@
 // Above the single-caller stack sits the concurrent accelerator service
 // (internal/qserv): a bounded job queue feeding per-backend worker pools
 // over the heterogeneous accelerators of Fig 1 — the gate-based stacks,
-// the annealer and the classical fallback (internal/accel) — with a
-// shared compiled-circuit cache so repeated submissions skip the compile
-// pipeline. cmd/qservd serves it over HTTP (/submit, /jobs/{id}, /stats)
-// and examples/service drives the API end to end; this is the host-side
-// runtime that turns the reproduction into a multi-tenant system.
+// the annealer and the classical fallback (internal/accel) — with the
+// shared two-level compile cache: a full-artefact LRU so exact
+// resubmissions skip compilation entirely, and a prefix-artefact LRU so
+// map/schedule/calibration variants of known kernels recompile
+// suffix-only (both singleflight-deduplicated; /stats reports both hit
+// rates and per-backend prefix_hits). cmd/qservd serves it over HTTP
+// (/submit, /jobs/{id}, /stats) and examples/service drives the API end
+// to end; this is the host-side runtime that turns the reproduction into
+// a multi-tenant system.
 //
 // The benchmark harness in bench_test.go regenerates every figure and
 // quantitative claim of the paper; see DESIGN.md for the experiment index

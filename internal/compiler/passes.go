@@ -7,13 +7,18 @@ package compiler
 import "fmt"
 
 func init() {
-	RegisterPass(NewPass("decompose", runDecompose))
-	RegisterPass(NewPass("optimize", runOptimize))
+	// decompose, optimize and fold-rotations are platform-generic: their
+	// output depends only on the circuit and the native gate set, so a
+	// leading run of them forms the cacheable prefix of a pipeline (see
+	// Pipeline.Split). Everything from mapping onward is variant-specific
+	// — topology, calibration, scheduling policy, per-pass options.
+	RegisterPass(NewGenericPass("decompose", runDecompose))
+	RegisterPass(NewGenericPass("optimize", runOptimize))
 	RegisterPass(NewOptionPass("map", runMap, checkMapOptions(true)))
 	RegisterPass(NewOptionPass("map-noise", runMapNoise, checkMapOptions(false)))
 	RegisterPass(NewPass("lower-swaps", runLowerSwaps))
 	RegisterPass(NewPass("optimize-lowered", runOptimizeLowered))
-	RegisterPass(NewPass("fold-rotations", runFoldRotations))
+	RegisterPass(NewGenericPass("fold-rotations", runFoldRotations))
 	RegisterPass(NewPass("schedule", runSchedule))
 	RegisterPass(NewPass("assemble", runAssemble))
 }

@@ -91,6 +91,36 @@ func NewOptionPass(name string, fn func(ctx *PassContext) error, check func(Pass
 	return optionPass{passFunc{name: name, fn: fn}, check}
 }
 
+// platformGeneric is the marker interface of passes whose output depends
+// only on the circuit and the platform's native gate set (Platform.Gates
+// / Platform.Supports) — never on topology, timings, control limits,
+// calibration data, mapping or scheduling configuration. The leading run
+// of such passes is the cacheable prefix of a pipeline (see
+// Pipeline.Split and PrefixArtefact).
+type platformGeneric interface {
+	PlatformGeneric()
+}
+
+// genericPass is a passFunc marked platform-generic.
+type genericPass struct{ passFunc }
+
+func (genericPass) PlatformGeneric() {}
+
+// NewGenericPass wraps a named function as a platform-generic Pass. Only
+// mark a pass generic when its Run reads nothing from the PassContext
+// beyond Circuit and the platform's gate set: generic passes are cached
+// across mapping, scheduling and calibration variants, so any hidden
+// dependency would serve stale artefacts.
+func NewGenericPass(name string, fn func(ctx *PassContext) error) Pass {
+	return genericPass{passFunc{name: name, fn: fn}}
+}
+
+// IsGeneric reports whether a pass is marked platform-generic.
+func IsGeneric(p Pass) bool {
+	_, ok := p.(platformGeneric)
+	return ok
+}
+
 var (
 	passMu       sync.RWMutex
 	passRegistry = map[string]Pass{}
@@ -160,14 +190,44 @@ type PassMetrics struct {
 	AddedSwaps int `json:"added_swaps,omitempty"`
 }
 
-// CompileReport is the per-pass account of one pipeline execution.
+// KernelCompile records one kernel's trip through the platform-generic
+// prefix of the pipeline when a program compiles kernel-by-kernel.
+type KernelCompile struct {
+	Kernel string `json:"kernel"`
+	// PrefixCached marks the kernel's prefix artefact as served from the
+	// prefix cache — the prefix passes did not run for it.
+	PrefixCached bool `json:"prefix_cached,omitempty"`
+	// WallNs is the kernel's prefix compile time (0 on a cache hit).
+	WallNs int64 `json:"wall_ns"`
+	// Passes are the kernel's prefix pass metrics (absent on cache hits).
+	Passes []PassMetrics `json:"passes,omitempty"`
+}
+
+// CompileReport is the per-pass account of one pipeline execution. When
+// the program compiled kernel-by-kernel (a non-empty platform-generic
+// prefix), the prefix rows in Passes aggregate over the kernels that
+// actually ran the prefix — gate counts, depths and wall time summed —
+// while Kernels carries the per-kernel breakdown and PrefixHits counts
+// the kernels whose artefact came from the prefix cache (their pass
+// metrics are excluded from Passes: nothing ran for them).
 type CompileReport struct {
 	PassSpec string        `json:"pass_spec"`
 	Passes   []PassMetrics `json:"passes"`
 	TotalNs  int64         `json:"total_ns"`
+	// PrefixSpec is the canonical spec of the pipeline's platform-generic
+	// prefix (empty when the pipeline has none or compiled in one shot).
+	PrefixSpec string `json:"prefix_spec,omitempty"`
+	// PrefixHits counts kernels served from the prefix cache.
+	PrefixHits int `json:"prefix_hits,omitempty"`
+	// CompileWorkers is the kernel-compile parallelism the compilation
+	// ran with (0 when it compiled in one shot).
+	CompileWorkers int `json:"compile_workers,omitempty"`
+	// Kernels is the per-kernel prefix account, in program order.
+	Kernels []KernelCompile `json:"kernels,omitempty"`
 }
 
-// String renders the report as an aligned table, one row per pass.
+// String renders the report as an aligned table, one row per pass, plus
+// a prefix-cache summary line when the program compiled kernel-by-kernel.
 func (r *CompileReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s %12s %14s %14s %6s\n", "pass", "time", "gates", "depth", "swaps")
@@ -183,6 +243,10 @@ func (r *CompileReport) String() string {
 			swaps)
 	}
 	fmt.Fprintf(&b, "%-16s %12s\n", "total", time.Duration(r.TotalNs).String())
+	if len(r.Kernels) > 0 {
+		fmt.Fprintf(&b, "kernels %d  prefix %q  cache hits %d/%d  workers %d\n",
+			len(r.Kernels), r.PrefixSpec, r.PrefixHits, len(r.Kernels), r.CompileWorkers)
+	}
 	return b.String()
 }
 
@@ -214,6 +278,65 @@ func (pl *Pipeline) Passes() []string {
 	return out
 }
 
+// Len returns the number of passes in the pipeline.
+func (pl *Pipeline) Len() int { return len(pl.passes) }
+
+// Split partitions the pipeline into its platform-generic prefix — the
+// longest leading run of passes marked generic (see NewGenericPass) —
+// and the variant suffix (mapping, scheduling, assembly: everything
+// that depends on topology, timings, calibration or per-variant
+// options). Both halves are executable pipelines over the same bound
+// passes; their Spec fields are canonical renderings (options sorted by
+// key), so equivalent spellings of a prefix produce equal cache keys.
+// Either half may be empty (Len 0); running an empty pipeline is a
+// no-op that returns an empty report.
+func (pl *Pipeline) Split() (prefix, suffix *Pipeline) {
+	n := 0
+	for _, bp := range pl.passes {
+		if !IsGeneric(bp.Pass) {
+			break
+		}
+		n++
+	}
+	return pl.slice(0, n), pl.slice(n, len(pl.passes))
+}
+
+// slice returns the sub-pipeline over passes[i:j] with a canonical spec.
+func (pl *Pipeline) slice(i, j int) *Pipeline {
+	sub := pl.passes[i:j]
+	return &Pipeline{Spec: canonicalSpec(sub), passes: sub}
+}
+
+// canonicalSpec renders bound passes back to a normalized spec string:
+// comma-separated names with options sorted by key, no whitespace.
+func canonicalSpec(passes []BoundPass) string {
+	var b strings.Builder
+	for i, bp := range passes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(bp.Pass.Name())
+		if len(bp.Options) > 0 {
+			keys := make([]string, 0, len(bp.Options))
+			for k := range bp.Options {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteByte('(')
+			for j, k := range keys {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(k)
+				b.WriteByte('=')
+				b.WriteString(bp.Options[k])
+			}
+			b.WriteByte(')')
+		}
+	}
+	return b.String()
+}
+
 // Run executes the pipeline over the context, recording per-pass wall
 // time, gate count, depth and added SWAPs. On error it reports which pass
 // failed.
@@ -225,6 +348,9 @@ func (pl *Pipeline) Run(ctx *PassContext) (*CompileReport, error) {
 		return nil, fmt.Errorf("compiler: pipeline %q run without a circuit", pl.Spec)
 	}
 	report := &CompileReport{PassSpec: pl.Spec, Passes: make([]PassMetrics, 0, len(pl.passes))}
+	if len(pl.passes) == 0 {
+		return report, nil
+	}
 	// Nothing mutates the circuit between passes, so each pass's before
 	// metrics are the previous pass's after metrics — one depth scan per
 	// pass instead of two on this instrumented hot path.

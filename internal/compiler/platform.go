@@ -11,7 +11,10 @@
 package compiler
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/target"
@@ -54,6 +57,9 @@ type Platform struct {
 	// pointer; the zero value works for hand-built literals.
 	hashOnce sync.Once
 	hash     string
+	// gateHashOnce/gateHash memoise GateSetHash the same way.
+	gateHashOnce sync.Once
+	gateHash     string
 }
 
 // PlatformFor returns the compiler view of a device. The view shares the
@@ -100,6 +106,34 @@ func (p *Platform) AsDevice() *target.Device {
 func (p *Platform) ContentHash() string {
 	p.hashOnce.Do(func() { p.hash = p.AsDevice().Hash() })
 	return p.hash
+}
+
+// GateSetHash returns a stable hash of the platform's native gate set —
+// the sorted gate names. This is everything the platform-generic prefix
+// passes (decompose, optimize, fold-rotations) can observe: they test
+// gate-set membership (Supports) and nothing else. Gate durations,
+// topology, cycle time, control limits and calibration are deliberately
+// excluded — only the variant suffix reads them — which is what keeps
+// prefix artefacts valid across re-mappings, re-schedulings,
+// re-calibrations and re-timings of the same gate set; devices that
+// differ only in those (e.g. the superconducting and semiconducting
+// presets, which share one primitive set at different speeds) share
+// prefix-cache entries.
+func (p *Platform) GateSetHash() string {
+	p.gateHashOnce.Do(func() {
+		names := make([]string, 0, len(p.Gates))
+		for name := range p.Gates {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		h := sha256.New()
+		for _, name := range names {
+			h.Write([]byte(name))
+			h.Write([]byte{0})
+		}
+		p.gateHash = hex.EncodeToString(h.Sum(nil))
+	})
+	return p.gateHash
 }
 
 // Calibration returns the device calibration table, nil for

@@ -50,6 +50,24 @@ type Stack struct {
 	// concurrently set this so per-job kernel goroutines do not multiply
 	// with their worker pools.
 	KernelWorkers int
+	// CompileWorkers bounds how many of a program's kernels compile
+	// concurrently through the pipeline's platform-generic prefix
+	// (decompose/optimize/fold-rotations); mapping and scheduling always
+	// run once over the concatenated program. 0 or 1 compiles serially.
+	// Deliberately excluded from the fingerprints: parallel and serial
+	// compilations produce identical artefacts.
+	CompileWorkers int
+	// CompileGate, when non-nil, additionally bounds kernel-compile
+	// parallelism across concurrent compilations service-wide — qserv
+	// shares one gate sized to its worker budget across all backends.
+	// Excluded from the fingerprints for the same reason.
+	CompileGate compiler.WorkerGate
+	// PrefixCache, when non-nil, caches platform-generic prefix
+	// artefacts across compiles (level 1 of the two-level compile
+	// cache); see PrefixFingerprint for what keys it. Cached artefacts
+	// never change compiled output, so this too stays out of the
+	// fingerprints.
+	PrefixCache compiler.PrefixCache
 }
 
 // DefaultParallelShots is the parallel-shot-batch threshold used when
@@ -237,12 +255,15 @@ func (s *Stack) Compile(p *openql.Program) (*openql.Compiled, error) {
 			p.NumQubits, s.Name, s.Platform.NumQubits)
 	}
 	return p.Compile(openql.CompileOptions{
-		Mode:     s.Mode,
-		Platform: s.Platform,
-		Optimize: s.Optimize,
-		Policy:   s.Policy,
-		Mapping:  s.Mapping,
-		Passes:   s.Passes,
+		Mode:        s.Mode,
+		Platform:    s.Platform,
+		Optimize:    s.Optimize,
+		Policy:      s.Policy,
+		Mapping:     s.Mapping,
+		Passes:      s.Passes,
+		Workers:     s.CompileWorkers,
+		CompileGate: s.CompileGate,
+		PrefixCache: s.PrefixCache,
 	})
 }
 
@@ -330,6 +351,13 @@ func (s *Stack) Fingerprint() string {
 // calibration — see target.Device.Hash) is folded in, so re-calibrating
 // a device changes the compile fingerprint and invalidates cached
 // compiles built against the stale calibration.
+//
+// CompileFingerprint keys the FULL-artefact level of the two-level
+// compile cache; PrefixFingerprint keys the platform-generic prefix
+// level, which deliberately depends on much less — so a fingerprint
+// rotation that leaves the prefix fingerprint unchanged (recalibration,
+// a scheduling-policy or mapping-option change, a different suffix pass
+// spec) recompiles suffix-only against the cached prefix artefacts.
 func (s *Stack) CompileFingerprint() string {
 	passes := s.Passes
 	if passes == "" {
@@ -341,6 +369,29 @@ func (s *Stack) CompileFingerprint() string {
 		s.Policy,
 		s.Mapping.Placement, s.Mapping.Lookahead, s.Mapping.LookaheadWindow,
 		passes)
+}
+
+// PrefixFingerprint identifies everything the platform-generic prefix of
+// the stack's compile pipeline depends on: the canonical prefix pass
+// spec and the platform's gate-set hash. Unlike CompileFingerprint it
+// excludes the device content hash (and with it the calibration table),
+// the scheduling policy and every mapping option — none of which the
+// prefix passes can observe — so two stacks that differ only in those
+// share prefix artefacts, and re-calibrating a device leaves its prefix
+// entries live while rotating the full-artefact entries. Combined with a
+// kernel's canonical text this is the prefix-cache key (see
+// compiler.PrefixKey).
+func (s *Stack) PrefixFingerprint() string {
+	spec := s.Passes
+	if spec == "" {
+		spec = compiler.DefaultPassSpec(s.Optimize)
+	}
+	prefixSpec := spec
+	if pl, err := compiler.NewPipeline(spec); err == nil {
+		pre, _ := pl.Split()
+		prefixSpec = pre.Spec
+	}
+	return fmt.Sprintf("gates=%s|prefix=%s", s.Platform.GateSetHash(), prefixSpec)
 }
 
 // toLogical translates outcome bitmasks from physical qubit positions

@@ -9,7 +9,12 @@
 package openql
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/compiler"
@@ -120,6 +125,49 @@ func (k *Kernel) Circuit() *circuit.Circuit {
 	return out
 }
 
+// ContentHash returns a stable hash of the kernel's unrolled gate stream
+// over a register of programQubits — the canonical identity compile
+// caches key kernels by, so the same gate sequence keys one entry
+// whether it was built with the builder API, parsed from cQASM text, or
+// embedded in differently-named programs. Kernel and program names are
+// deliberately excluded; register size, gate order, operands, exact
+// parameter bits, conditional bindings and the iteration count all enter
+// the hash. The encoding is length-prefixed binary (no float formatting):
+// hashing sits on the per-compile cache path and must stay far cheaper
+// than the passes it short-circuits.
+func (k *Kernel) ContentHash(programQubits int) string {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(uint64(programQubits))
+	// Iterations are hashed by unrolling, matching Kernel.Circuit, so a
+	// kernel repeated twice equals the same gates written out twice.
+	for it := 0; it < k.Iterations; it++ {
+		for _, g := range k.c.Gates {
+			h.Write([]byte(g.Name))
+			h.Write([]byte{0})
+			word(uint64(len(g.Qubits)))
+			for _, q := range g.Qubits {
+				word(uint64(q))
+			}
+			word(uint64(len(g.Params)))
+			for _, p := range g.Params {
+				word(math.Float64bits(p))
+			}
+			if g.HasCond {
+				word(1)
+				word(uint64(g.CondBit))
+			} else {
+				word(0)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // KernelFromCircuit wraps a copy of an existing flat circuit as a kernel,
 // so gate sequences produced outside the builder API (e.g. parsed from
 // cQASM text) can enter the compiler pipeline.
@@ -221,6 +269,23 @@ type CompileOptions struct {
 	// compiler pass registry. The spec must include "schedule" (execution
 	// needs a timed circuit) and, on realistic targets, "assemble".
 	Passes string
+	// Workers bounds the number of kernels compiled concurrently through
+	// the pipeline's platform-generic prefix (decompose/optimize/
+	// fold-rotations run per kernel; mapping and scheduling always run on
+	// the concatenated program). 0 or 1 compiles serially. Parallel and
+	// serial compilations produce identical artefacts.
+	Workers int
+	// CompileGate, when non-nil, additionally bounds kernel-compile
+	// parallelism across concurrent Compile calls — the shared semaphore
+	// a service sizes to its worker budget.
+	CompileGate compiler.WorkerGate
+	// PrefixCache, when non-nil, caches per-kernel prefix artefacts
+	// across compilations (level 1 of the two-level compile cache): a
+	// recompile that only changes mapping, scheduling or calibration
+	// configuration re-runs just the variant suffix. Cached artefacts
+	// are keyed by (gate-set hash, prefix spec, kernel text) — see
+	// compiler.PrefixKey — and never change compiled output.
+	PrefixCache compiler.PrefixCache
 }
 
 // Compiled is the full output of the compiler: every intermediate
@@ -235,6 +300,120 @@ type Compiled struct {
 	// Report records the executed pass pipeline with per-pass wall time,
 	// gate count, depth and added SWAPs.
 	Report *compiler.CompileReport
+}
+
+// compilePrefix runs every kernel through the pipeline's platform-generic
+// prefix — across workers when allowed, consulting the prefix cache when
+// one is configured — and folds the per-kernel accounts into the report.
+// The returned artefacts are in program order regardless of completion
+// order, so concatenation is deterministic. Prefix rows are aggregated
+// over the kernels that actually ran the passes; cache hits contribute
+// nothing (their artefact was fetched, not compiled) and are counted in
+// report.PrefixHits instead.
+func (p *Program) compilePrefix(prefix *compiler.Pipeline, opts *CompileOptions, report *compiler.CompileReport) ([]*compiler.PrefixArtefact, error) {
+	n := len(p.Kernels)
+	arts := make([]*compiler.PrefixArtefact, n)
+	hits := make([]bool, n)
+	errs := make([]error, n)
+
+	gateHash := ""
+	if opts.PrefixCache != nil {
+		gateHash = opts.Platform.GateSetHash()
+	}
+	one := func(i int) {
+		k := p.Kernels[i]
+		build := func() (*compiler.PrefixArtefact, error) {
+			// The gate is held only while a kernel actually compiles —
+			// never while waiting on another in-flight computation — so
+			// concurrent gated compilations cannot deadlock.
+			opts.CompileGate.Acquire()
+			defer opts.CompileGate.Release()
+			// Unroll straight into the program-width circuit: one gate
+			// clone per iteration, no intermediate kernel-width copy.
+			kc := circuit.New(k.Name, p.NumQubits)
+			for it := 0; it < k.Iterations; it++ {
+				kc.Append(k.c)
+			}
+			ctx := &compiler.PassContext{
+				Platform:    opts.Platform,
+				ProgramName: p.Name,
+				Circuit:     kc,
+			}
+			rep, err := prefix.Run(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &compiler.PrefixArtefact{Circuit: ctx.Circuit, Passes: rep.Passes}, nil
+		}
+		if opts.PrefixCache == nil {
+			arts[i], errs[i] = build()
+			return
+		}
+		key := compiler.PrefixKey(gateHash, prefix.Spec, k.ContentHash(p.NumQubits))
+		arts[i], hits[i], errs[i] = opts.PrefixCache.GetOrCompute(key, build)
+	}
+
+	workers := opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		workers = 1
+		for i := range p.Kernels {
+			one(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					one(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	report.PrefixSpec = prefix.Spec
+	report.CompileWorkers = workers
+	agg := make([]compiler.PassMetrics, 0, prefix.Len())
+	for i, a := range arts {
+		kc := compiler.KernelCompile{Kernel: p.Kernels[i].Name, PrefixCached: hits[i]}
+		if hits[i] {
+			report.PrefixHits++
+		} else {
+			kc.Passes = a.Passes
+			for j, m := range a.Passes {
+				kc.WallNs += m.WallNs
+				if j == len(agg) {
+					agg = append(agg, compiler.PassMetrics{Pass: m.Pass})
+				}
+				agg[j].WallNs += m.WallNs
+				agg[j].GatesBefore += m.GatesBefore
+				agg[j].GatesAfter += m.GatesAfter
+				agg[j].DepthBefore += m.DepthBefore
+				agg[j].DepthAfter += m.DepthAfter
+			}
+		}
+		report.Kernels = append(report.Kernels, kc)
+	}
+	report.Passes = append(report.Passes, agg...)
+	for _, m := range agg {
+		report.TotalNs += m.WallNs
+	}
+	return arts, nil
 }
 
 // assembleEQASM is the Assembler this layer injects into the pass
@@ -255,6 +434,17 @@ func assembleEQASM(ctx *compiler.PassContext) error {
 // optionally optimise, map to the topology, lower routing SWAPs,
 // schedule, and (for realistic targets) assemble eQASM. Options.Passes
 // selects a custom pipeline from the registered passes instead.
+//
+// Compilation is two-level: the pipeline's platform-generic prefix
+// (decompose, optimize, fold-rotations) runs per kernel — concurrently
+// when Options.Workers allows, consulting Options.PrefixCache when one
+// is supplied — and the per-kernel artefacts are concatenated in program
+// order before the variant suffix (mapping, scheduling, assembly) runs
+// over the whole program. Kernel boundaries are therefore optimisation
+// barriers: the peephole passes never merge gates across kernels, which
+// both matches the kernels' role as separately-offloaded units of
+// classical control and makes every kernel's prefix artefact reusable by
+// any program embedding the same kernel.
 func (p *Program) Compile(opts CompileOptions) (*Compiled, error) {
 	if opts.Target != nil {
 		opts.Platform = compiler.PlatformFor(opts.Target)
@@ -270,6 +460,25 @@ func (p *Program) Compile(opts CompileOptions) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	prefix, suffix := pipeline.Split()
+
+	report := &compiler.CompileReport{PassSpec: pipeline.Spec}
+	var full *circuit.Circuit
+	if prefix.Len() == 0 || len(p.Kernels) == 0 {
+		// No generic prefix (or nothing to split): one-shot compile of
+		// the flattened program through the whole pipeline.
+		full = p.Flatten()
+		suffix = pipeline
+	} else {
+		arts, err := p.compilePrefix(prefix, &opts, report)
+		if err != nil {
+			return nil, err
+		}
+		full = circuit.New(p.Name, p.NumQubits)
+		for _, a := range arts {
+			full.Append(a.Circuit)
+		}
+	}
 	ctx := &compiler.PassContext{
 		Platform:    opts.Platform,
 		Mapping:     opts.Mapping,
@@ -277,12 +486,14 @@ func (p *Program) Compile(opts CompileOptions) (*Compiled, error) {
 		Assemble:    opts.Mode == RealisticQubits,
 		Assembler:   assembleEQASM,
 		ProgramName: p.Name,
-		Circuit:     p.Flatten(),
+		Circuit:     full,
 	}
-	report, err := pipeline.Run(ctx)
+	sufReport, err := suffix.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
+	report.Passes = append(report.Passes, sufReport.Passes...)
+	report.TotalNs += sufReport.TotalNs
 	if ctx.Schedule == nil {
 		return nil, fmt.Errorf("openql: pass spec %q produced no schedule; include the \"schedule\" pass", spec)
 	}

@@ -2,14 +2,31 @@ package qserv
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/accel"
 	"repro/internal/anneal"
+	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/cqasm"
 	"repro/internal/openql"
 	"repro/internal/target"
 )
+
+// CompileEnv carries the shared compile resources the service hands each
+// backend run: the two cache levels and the service-wide kernel-compile
+// budget. A nil env (or nil fields) disables the corresponding resource.
+type CompileEnv struct {
+	// Cache is the full-artefact compile cache (level 2).
+	Cache *CompileCache
+	// Prefix is the platform-generic prefix-artefact cache (level 1).
+	Prefix *PrefixCache
+	// Gate bounds kernel-compile goroutines across all concurrent jobs.
+	Gate compiler.WorkerGate
+	// Workers is the per-compile kernel parallelism ceiling applied to
+	// stacks that don't set their own.
+	Workers int
+}
 
 // Backend is one execution target behind the service's worker pools. Run
 // must be safe for concurrent use: workers of the same pool call it in
@@ -19,9 +36,9 @@ type Backend interface {
 	// Accepts reports whether the backend can run the request's payload.
 	Accepts(r *Request) bool
 	// Run executes the request with the given per-job seed, consulting the
-	// shared compile cache (nil disables caching). It returns the result
-	// and whether the compile step was a cache hit.
-	Run(r *Request, seed int64, cache *CompileCache) (*Result, bool, error)
+	// shared compile caches in env (nil disables caching). It returns the
+	// result and whether the compile step was a full-artefact cache hit.
+	Run(r *Request, seed int64, env *CompileEnv) (*Result, bool, error)
 }
 
 // DeviceProvider is implemented by backends that expose a hardware
@@ -59,8 +76,12 @@ func (b *StackBackend) Accepts(r *Request) bool { return r.CQASM != "" || r.Prog
 // override keys its own cache entry through CompileFingerprint. A device
 // target or calibration override rebuilds the stack for the overridden
 // device (core.NewStackForDevice), whose content hash keys distinct
-// cache entries — re-calibrating never reuses stale compiles.
-func (b *StackBackend) Run(r *Request, seed int64, cache *CompileCache) (*Result, bool, error) {
+// full-artefact cache entries — re-calibrating never reuses stale
+// compiles. The prefix level is keyed independently (gate-set hash +
+// prefix spec + kernel text), so those same overrides — and pass
+// overrides that only change the suffix — still reuse the cached
+// platform-generic prefix artefacts and recompile suffix-only.
+func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bool, error) {
 	p, err := b.program(r)
 	if err != nil {
 		return nil, false, err
@@ -87,6 +108,9 @@ func (b *StackBackend) Run(r *Request, seed int64, cache *CompileCache) (*Result
 		override.Engine = stack.Engine
 		override.ParallelShots = stack.ParallelShots
 		override.KernelWorkers = stack.KernelWorkers
+		override.CompileWorkers = stack.CompileWorkers
+		override.CompileGate = stack.CompileGate
+		override.PrefixCache = stack.PrefixCache
 		stack = override
 	}
 	if (r.Engine != "" && r.Engine != stack.Engine) || (r.Passes != "" && r.Passes != stack.Passes) {
@@ -99,10 +123,30 @@ func (b *StackBackend) Run(r *Request, seed int64, cache *CompileCache) (*Result
 		}
 		stack = &override
 	}
+	// Graft the service's shared compile resources onto a copy of the
+	// stack: the prefix cache and worker gate are per-service, not
+	// per-backend, and the stack itself is shared across workers.
+	if env != nil && (env.Prefix != nil || env.Gate != nil || env.Workers > 0) {
+		run := *stack
+		if run.PrefixCache == nil && env.Prefix != nil {
+			run.PrefixCache = env.Prefix
+		}
+		if run.CompileGate == nil {
+			run.CompileGate = env.Gate
+		}
+		if run.CompileWorkers == 0 {
+			run.CompileWorkers = env.Workers
+		}
+		stack = &run
+	}
 	var (
 		compiled *openql.Compiled
 		hit      bool
 	)
+	var cache *CompileCache
+	if env != nil {
+		cache = env.Cache
+	}
 	if cache == nil {
 		compiled, err = stack.Compile(p)
 	} else {
@@ -123,13 +167,26 @@ func (b *StackBackend) Run(r *Request, seed int64, cache *CompileCache) (*Result
 	return &Result{Report: rep}, hit, nil
 }
 
-// canonicalText renders the program's flattened gate stream under a fixed
-// name, so the same circuit submitted as cQASM text or built via the
-// OpenQL API keys to one cache entry.
+// canonicalText renders the program's kernel partition canonically: one
+// content hash per kernel (iterations unrolled, names ignored — see
+// openql.Kernel.ContentHash), NUL-joined. The same gate stream submitted
+// as cQASM text or built via the OpenQL API keys to one entry, while
+// programs that split the same gates across different kernel boundaries
+// key distinct entries — they genuinely compile differently, since the
+// platform-generic prefix runs per kernel and never optimises across
+// kernel boundaries.
 func canonicalText(p *openql.Program) string {
-	flat := p.Flatten()
-	flat.Name = "main"
-	return cqasm.PrintCircuit(flat)
+	var b strings.Builder
+	// The register width leads the key: kernel hashes already fold it in,
+	// but a zero-kernel program must still key distinctly per width (its
+	// compiled artefact is a width-sized empty circuit).
+	fmt.Fprintf(&b, "q%d", p.NumQubits)
+	b.WriteByte(0)
+	for _, k := range p.Kernels {
+		b.WriteString(k.ContentHash(p.NumQubits))
+		b.WriteByte(0)
+	}
+	return b.String()
 }
 
 // program materialises the request's gate payload as an OpenQL program.
@@ -174,7 +231,7 @@ func (b *AccelBackend) Accepts(r *Request) bool {
 }
 
 // Run builds the task and offloads it to the wrapped accelerator.
-func (b *AccelBackend) Run(r *Request, seed int64, _ *CompileCache) (*Result, bool, error) {
+func (b *AccelBackend) Run(r *Request, seed int64, _ *CompileEnv) (*Result, bool, error) {
 	acc, t, ok := b.build(r, seed)
 	if !ok {
 		return nil, false, fmt.Errorf("qserv: backend %q cannot run this payload", b.Label)

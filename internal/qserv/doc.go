@@ -16,7 +16,8 @@
 //	                  worker pool       worker pool       worker pool
 //	                 (perfect stack)  (supercond. stack)  (annealer…)
 //	                        │                 │                │
-//	                 compile cache ◀──shared──┘                │
+//	            full-artefact cache ◀─shared──┤                │
+//	           prefix-artefact cache ◀─shared─┘                │
 //	                        │                                  │
 //	                  core.Stack.RunCompiled           accel.Accelerator
 //	                        │
@@ -117,15 +118,42 @@
 // and the chunk-parallel amplitude kernels below it (see internal/qx and
 // internal/quantum for that concurrency contract).
 //
-// Gate backends share one compiled-circuit cache keyed by
-// (program cQASM, stack compile fingerprint — which includes the pass
-// spec): repeated submissions of the same program to the same target with
-// the same pipeline skip the compiler passes entirely and go straight to
-// seeded QX execution (core.Stack.RunCompiled). Compilation is
-// engine-independent, so jobs that override the engine reuse the same
-// entry; jobs that override the pass spec compile (and cache) their own.
-// In-flight compilations are deduplicated, so N simultaneous submissions
-// of one new program compile it once.
+// # The two-level compile cache and parallel kernel compilation
+//
+// Gate backends share a two-level compile cache. Level 2 — the
+// full-artefact cache — is keyed by (canonical kernel partition, stack
+// compile fingerprint, which folds in the pass spec and the device
+// content hash): repeated submissions of the same program to the same
+// target with the same pipeline skip the compiler passes entirely and
+// go straight to seeded QX execution (core.Stack.RunCompiled). Level 1
+// — the prefix-artefact cache — holds each kernel's output from the
+// pipeline's platform-generic prefix (decompose/optimize/
+// fold-rotations), keyed by (gate-set hash, canonical prefix spec,
+// kernel content hash) and deliberately NOT by the device hash,
+// scheduling policy or mapping options, which only the variant suffix
+// reads. A job that misses level 2 but hits level 1 — a map/schedule
+// variant, a scheduling-policy change, a recalibration — re-runs just
+// the suffix passes against the fetched prefix artefacts, the ≥2x
+// recompile win BenchmarkPrefixCachedRecompile measures. Recalibrating
+// therefore invalidates exactly what the fresh table can affect:
+// full-artefact entries rotate with the device hash while prefix
+// entries stay live (prefix passes cannot observe calibration — proven
+// by a -race test racing calibration overrides against both levels).
+//
+// Compilation is engine-independent, so jobs that override the engine
+// reuse the same entries; jobs that override the pass spec compile (and
+// cache) their own full artefacts, sharing prefix artefacts whenever
+// their pipelines agree on the generic prefix. In-flight computations
+// are deduplicated at both levels (singleflight), so N simultaneous
+// submissions of one new program compile each artefact once.
+//
+// Multi-kernel programs compile their kernels concurrently through the
+// prefix passes: Config.CompileWorkers sizes a service-wide
+// compiler.WorkerGate shared by every job, so kernel-compile goroutines
+// never multiply with the worker pools above them; the per-kernel
+// artefacts concatenate deterministically (kernel boundaries are
+// optimisation barriers) before the suffix runs once over the whole
+// program. Parallel and serial compilation produce identical artefacts.
 //
 // Execution is deterministic per job: every job gets a derived seed, and
 // all mutable simulator state is created per run (see the concurrency
@@ -137,10 +165,15 @@
 // The embedded HTTP API (Service.Handler) exposes POST /submit,
 // GET /jobs/{id} (with optional ?wait=duration long-polling),
 // GET /backends — device descriptions, calibration data and content
-// hashes — and GET /stats — queue depth, per-backend throughput, cache
-// hit rate and per-pass compile latency percentiles — so operators can
-// see where the time went, the service-level analogue of the host's
-// Amdahl accounting in internal/accel. cmd/qservd wires the default
-// heterogeneous system behind this API and can serve any device JSON
+// hashes — and GET /stats — queue depth, per-backend throughput, both
+// cache levels ("cache"/"cache_hit_rate" for full artefacts,
+// "prefix_cache"/"prefix_hit_rate" for prefix artefacts, per-backend
+// "prefix_hits" counting kernels served suffix-only) and per-pass
+// compile latency percentiles — so operators can see where the time
+// went, the service-level analogue of the host's Amdahl accounting in
+// internal/accel. Job compile reports carry the per-kernel breakdown
+// ("kernels", "prefix_hits", "compile_workers"). cmd/qservd wires the
+// default heterogeneous system behind this API (-prefix-cache and
+// -compile-workers size the new layer) and can serve any device JSON
 // file as an extra backend via -target.
 package qserv

@@ -169,7 +169,9 @@ func viewJob(j *Job) JobView {
 //	POST /submit        submit a job (202, or 503 when the queue is full)
 //	GET  /jobs/{id}     job status and result; ?wait=2s long-polls
 //	GET  /backends      registered backends with device + calibration data
-//	GET  /stats         queue depth, per-backend throughput, cache hit rate
+//	GET  /stats         queue depth, per-backend throughput, hit rates of
+//	                    both compile-cache levels (full + prefix), per-pass
+//	                    compile latency percentiles
 //	GET  /healthz       liveness probe
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()

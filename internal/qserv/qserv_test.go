@@ -264,7 +264,7 @@ type blockingBackend struct {
 
 func (b *blockingBackend) Name() string            { return "blocker" }
 func (b *blockingBackend) Accepts(r *Request) bool { return true }
-func (b *blockingBackend) Run(r *Request, seed int64, cache *CompileCache) (*Result, bool, error) {
+func (b *blockingBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bool, error) {
 	<-b.release
 	return &Result{}, false, nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -33,9 +34,21 @@ type Config struct {
 	// DefaultShots is applied to gate jobs submitted with Shots <= 0
 	// (default 1024).
 	DefaultShots int
-	// CacheSize bounds the compiled-circuit cache; negative disables
+	// CacheSize bounds the full-artefact compile cache; negative disables
 	// caching (default 256 entries).
 	CacheSize int
+	// PrefixCacheSize bounds the prefix-artefact cache — level 1 of the
+	// two-level compile cache, holding per-kernel platform-generic
+	// artefacts that survive recalibrations and map/schedule variants.
+	// 0 defaults to 4× the resolved CacheSize (prefix artefacts are
+	// smaller and shared across variants); negative disables the level.
+	PrefixCacheSize int
+	// CompileWorkers is the service-wide kernel-compile parallelism
+	// budget: a shared semaphore of this many tokens bounds the total
+	// number of kernels compiling concurrently across all jobs and
+	// backends, and each compile may use up to this many workers for its
+	// own kernels. 0 defaults to GOMAXPROCS; negative compiles serially.
+	CompileWorkers int
 	// Seed is the base of the per-job seed derivation (default 1).
 	Seed int64
 	// Engine names the qx execution engine DefaultService configures the
@@ -68,6 +81,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
 	}
+	if c.PrefixCacheSize == 0 && c.CacheSize > 0 {
+		c.PrefixCacheSize = 4 * c.CacheSize
+	}
+	if c.CompileWorkers == 0 {
+		c.CompileWorkers = runtime.GOMAXPROCS(0)
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -84,6 +103,7 @@ type backendPool struct {
 	jobsFailed atomic.Uint64
 	busyNs     atomic.Int64
 	cacheHits  atomic.Uint64
+	prefixHits atomic.Uint64
 
 	// passMu guards passAgg: per-compiler-pass totals accumulated from
 	// the compile reports of jobs that actually compiled (cache hits
@@ -200,10 +220,13 @@ func (p *backendPool) passStats() []PassStats {
 }
 
 // Service is the concurrent accelerator service: bounded per-backend job
-// queues feeding worker pools, with a shared compiled-circuit cache.
+// queues feeding worker pools, with a shared two-level compile cache
+// (full artefacts + platform-generic prefix artefacts).
 type Service struct {
-	cfg   Config
-	cache *CompileCache
+	cfg    Config
+	cache  *CompileCache
+	prefix *PrefixCache
+	env    *CompileEnv
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -231,11 +254,29 @@ func New(cfg Config) *Service {
 	if cfg.CacheSize > 0 {
 		s.cache = NewCompileCache(cfg.CacheSize)
 	}
+	if cfg.PrefixCacheSize > 0 {
+		s.prefix = NewPrefixCache(cfg.PrefixCacheSize)
+	}
+	workers := cfg.CompileWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	s.env = &CompileEnv{
+		Cache:   s.cache,
+		Prefix:  s.prefix,
+		Gate:    compiler.NewWorkerGate(workers),
+		Workers: workers,
+	}
 	return s
 }
 
-// Cache exposes the shared compile cache (nil when disabled).
+// Cache exposes the shared full-artefact compile cache (nil when
+// disabled).
 func (s *Service) Cache() *CompileCache { return s.cache }
+
+// PrefixCache exposes the shared prefix-artefact cache (nil when
+// disabled).
+func (s *Service) PrefixCache() *PrefixCache { return s.prefix }
 
 // AddBackend registers a backend with its worker-pool size (<= 0 selects
 // Config.DefaultWorkers). It must be called before Start.
@@ -300,20 +341,26 @@ func (s *Service) worker(p *backendPool) {
 	for job := range p.ch {
 		job.markRunning()
 		start := time.Now()
-		res, hit, err := p.b.Run(&job.Req, job.seed, s.cache)
+		res, hit, err := p.b.Run(&job.Req, job.seed, s.env)
 		p.busyNs.Add(time.Since(start).Nanoseconds())
 		if hit {
 			p.cacheHits.Add(1)
 		}
+		// Aggregate per-pass compile metrics from jobs that actually ran
+		// the pipeline; full-artefact cache hits reuse a prior job's
+		// artefact. Prefix-cache hits show up here too: a suffix-only
+		// recompile reports no prefix pass rows (nothing ran for them)
+		// and bumps the pool's prefix-hit counter per fetched kernel.
 		if err != nil {
 			p.jobsFailed.Add(1)
 		} else {
 			p.jobsDone.Add(1)
 		}
-		// Aggregate per-pass compile metrics from jobs that actually ran
-		// the pipeline; cache hits reuse a prior job's artefact.
 		if !hit && err == nil && res != nil && res.Report != nil && res.Report.Compile != nil {
 			p.recordCompile(res.Report.Compile)
+			if n := res.Report.Compile.PrefixHits; n > 0 {
+				p.prefixHits.Add(uint64(n))
+			}
 		}
 		job.finish(res, hit, err)
 		s.retire(job)
@@ -509,12 +556,18 @@ type PassStats struct {
 
 // BackendStats is one backend's slice of the /stats report.
 type BackendStats struct {
-	Name       string  `json:"name"`
-	Workers    int     `json:"workers"`
-	QueueDepth int     `json:"queue_depth"`
-	JobsDone   uint64  `json:"jobs_done"`
-	JobsFailed uint64  `json:"jobs_failed"`
-	CacheHits  uint64  `json:"cache_hits"`
+	Name       string `json:"name"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	JobsDone   uint64 `json:"jobs_done"`
+	JobsFailed uint64 `json:"jobs_failed"`
+	CacheHits  uint64 `json:"cache_hits"`
+	// PrefixHits counts kernels this backend's compiles served from the
+	// prefix-artefact cache — compiles that re-ran only the variant
+	// suffix (map/schedule/assemble) against cached decompose/optimize
+	// output. Full-artefact cache hits skip compilation entirely and are
+	// counted in CacheHits instead.
+	PrefixHits uint64  `json:"prefix_hits"`
 	BusyMs     float64 `json:"busy_ms"`
 	// JobsPerSec is completed jobs divided by service uptime — the
 	// per-backend throughput figure.
@@ -526,14 +579,20 @@ type BackendStats struct {
 
 // Stats is the service-wide instrumentation snapshot.
 type Stats struct {
-	UptimeSec     float64        `json:"uptime_sec"`
-	QueueDepth    int            `json:"queue_depth"`
-	QueueCap      int            `json:"queue_cap"`
-	JobsSubmitted uint64         `json:"jobs_submitted"`
-	JobsDone      uint64         `json:"jobs_done"`
-	JobsFailed    uint64         `json:"jobs_failed"`
-	CacheHitRate  float64        `json:"cache_hit_rate"`
-	Cache         CacheStats     `json:"cache"`
+	UptimeSec     float64    `json:"uptime_sec"`
+	QueueDepth    int        `json:"queue_depth"`
+	QueueCap      int        `json:"queue_cap"`
+	JobsSubmitted uint64     `json:"jobs_submitted"`
+	JobsDone      uint64     `json:"jobs_done"`
+	JobsFailed    uint64     `json:"jobs_failed"`
+	CacheHitRate  float64    `json:"cache_hit_rate"`
+	Cache         CacheStats `json:"cache"`
+	// PrefixHitRate and PrefixCache report the prefix-artefact level of
+	// the two-level compile cache: hits are kernels whose platform-
+	// generic prefix (decompose/optimize) was fetched instead of
+	// recompiled, so misses only pay the map/schedule/assemble suffix.
+	PrefixHitRate float64        `json:"prefix_hit_rate"`
+	PrefixCache   CacheStats     `json:"prefix_cache"`
 	Backends      []BackendStats `json:"backends"`
 }
 
@@ -562,6 +621,10 @@ func (s *Service) Stats() Stats {
 		st.Cache = s.cache.Stats()
 		st.CacheHitRate = st.Cache.HitRate()
 	}
+	if s.prefix != nil {
+		st.PrefixCache = s.prefix.Stats()
+		st.PrefixHitRate = st.PrefixCache.HitRate()
+	}
 	for _, p := range pools {
 		done, failed := p.jobsDone.Load(), p.jobsFailed.Load()
 		st.JobsDone += done
@@ -573,6 +636,7 @@ func (s *Service) Stats() Stats {
 			JobsDone:      done,
 			JobsFailed:    failed,
 			CacheHits:     p.cacheHits.Load(),
+			PrefixHits:    p.prefixHits.Load(),
 			BusyMs:        float64(p.busyNs.Load()) / 1e6,
 			CompilePasses: p.passStats(),
 		}
