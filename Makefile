@@ -7,6 +7,7 @@
 GO ?= go
 BENCH_COUNT ?= 5
 BENCH_TOLERANCE ?= 0.20
+OBS_OVERHEAD_CEILING ?= 5
 STATICCHECK_VERSION ?= 2025.1.1
 
 # The bench-baseline/bench-gate recipes pipe `go test` into benchgate;
@@ -16,7 +17,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build fmt vet staticcheck test race bench bench-smoke bench-baseline bench-gate cover vuln ci
+.PHONY: all build fmt vet staticcheck test race bench bench-smoke bench-baseline bench-gate cover metrics-smoke vuln ci
 
 all: ci
 
@@ -58,19 +59,52 @@ bench-baseline:
 		| $(GO) run ./cmd/benchgate -emit BENCH_5.json
 
 # The benchmark-regression gate the workflow runs: compare a fresh
-# $(BENCH_COUNT)-sample run against the committed baseline and fail on
-# any regression beyond ±$(BENCH_TOLERANCE).
+# $(BENCH_COUNT)-sample run against the committed baseline, fail on any
+# regression beyond ±$(BENCH_TOLERANCE), and hold BenchmarkObsOverhead's
+# measured observability overhead under the absolute ceiling.
 bench-gate:
 	$(GO) test -bench=. -benchtime=1x -count=$(BENCH_COUNT) -benchmem -run=^$$ . \
-		| $(GO) run ./cmd/benchgate -baseline BENCH_5.json -emit BENCH_5.current.json -tolerance $(BENCH_TOLERANCE)
+		| $(GO) run ./cmd/benchgate -baseline BENCH_5.json -emit BENCH_5.current.json \
+			-tolerance $(BENCH_TOLERANCE) -ceiling overhead_pct=$(OBS_OVERHEAD_CEILING)
 
-# Coverage gate on the device/target layer (mirrors the CI step).
+# Coverage gates on the layers every other layer builds on: the
+# device/target contract and the observability primitives (mirrors the
+# CI step).
 cover:
 	$(GO) test -coverprofile=target.cov ./internal/target
 	$(GO) tool cover -func=target.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/target coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/target coverage " $$3 "%"}'
+	$(GO) test -coverprofile=obs.cov ./internal/obs
+	$(GO) tool cover -func=obs.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/obs coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/obs coverage " $$3 "%"}'
+
+# End-to-end scrape smoke: boot qservd, submit a job over HTTP, then
+# verify /metrics serves Prometheus exposition with the job counters,
+# cache and pass families populated, and that the trace endpoint serves
+# the span tree for the submitted job's X-Trace-Id.
+metrics-smoke:
+	$(GO) build -o bin/qservd ./cmd/qservd
+	@./bin/qservd -addr 127.0.0.1:18080 -log-level warn & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	trace=$$(curl -fsS -D - -o /dev/null -X POST http://127.0.0.1:18080/submit \
+		-d '{"cqasm":"version 1.0\nqubits 2\nh q[0]\ncnot q[0],q[1]\nmeasure q[0]\nmeasure q[1]","backend":"perfect","shots":16}' \
+		| awk 'tolower($$1)=="x-trace-id:" {gsub(/\r/,"",$$2); print $$2}'); \
+	[ -n "$$trace" ] || { echo "metrics-smoke: no X-Trace-Id on submit"; exit 1; }; \
+	curl -fsS "http://127.0.0.1:18080/jobs/$$trace?wait=5s" >/dev/null; \
+	curl -fsS http://127.0.0.1:18080/metrics > bin/metrics.scrape; \
+	for family in qserv_jobs_submitted_total qserv_jobs_completed_total \
+		qserv_job_latency_seconds_bucket qserv_queue_depth \
+		qserv_compile_cache_ops_total qserv_compile_pass_seconds_count \
+		qserv_http_requests_total; do \
+		grep -q "^$$family" bin/metrics.scrape || { echo "metrics-smoke: $$family missing from /metrics"; exit 1; }; \
+	done; \
+	curl -fsS "http://127.0.0.1:18080/jobs/$$trace/trace" | grep -q '"queue.wait"' \
+		|| { echo "metrics-smoke: trace endpoint missing queue.wait span"; exit 1; }; \
+	echo "metrics-smoke: /metrics and /jobs/{id}/trace OK"
 
 # Known-vulnerability scan (network access required).
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: build fmt vet staticcheck race cover bench-smoke
+ci: build fmt vet staticcheck race cover bench-smoke metrics-smoke

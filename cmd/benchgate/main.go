@@ -30,6 +30,14 @@
 // well above the floor and gate at the full ±tol. allocs/op regresses
 // beyond the same relative tolerance plus a +2 absolute slack, so
 // near-zero counts don't flap on one-off lazy initialisation.
+//
+// Custom b.ReportMetric units (anything that isn't ns/op, B/op, MB/s or
+// allocs/op — "overhead_pct", "cold/cached", "fidelity", …) are folded
+// by minimum like the standard figures, recorded in the baseline's
+// "extra" map, and gated by the repeatable -ceiling flag as absolute
+// bounds on the current run — no baseline needed. CI uses
+// `-ceiling overhead_pct=5` to keep BenchmarkObsOverhead's measured
+// observability overhead under 5%.
 package main
 
 import (
@@ -45,11 +53,14 @@ import (
 	"strings"
 )
 
-// BenchResult is one benchmark's folded figures.
+// BenchResult is one benchmark's folded figures. Extra carries custom
+// b.ReportMetric units (e.g. "overhead_pct", "cold/cached") that
+// -ceiling can gate on; standard units (B/op, MB/s) are not recorded.
 type BenchResult struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	Samples     int     `json:"samples"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Samples     int                `json:"samples"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Baseline is the JSON schema of BENCH_5.json: op name → figures.
@@ -79,16 +90,24 @@ func parse(r io.Reader) (map[string]BenchResult, error) {
 		fields := strings.Fields(m[2])
 		var ns, allocs float64
 		var haveNs bool
+		var extra map[string]float64
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				ns, haveNs = v, true
 			case "allocs/op":
 				allocs = v
+			case "B/op", "MB/s":
+				// Standard units benchgate doesn't gate on.
+			default:
+				if extra == nil {
+					extra = map[string]float64{}
+				}
+				extra[unit] = v
 			}
 		}
 		if !haveNs {
@@ -96,13 +115,22 @@ func parse(r io.Reader) (map[string]BenchResult, error) {
 		}
 		cur, seen := out[name]
 		if !seen {
-			out[name] = BenchResult{NsPerOp: ns, AllocsPerOp: allocs, Samples: 1}
+			out[name] = BenchResult{NsPerOp: ns, AllocsPerOp: allocs, Samples: 1, Extra: extra}
 			continue
 		}
 		// Fold repeated -count samples: minimum is the least-noise
-		// estimator for both time and allocations.
+		// estimator for both time and allocations, and for the custom
+		// units too — noise only ever inflates them.
 		cur.NsPerOp = min(cur.NsPerOp, ns)
 		cur.AllocsPerOp = min(cur.AllocsPerOp, allocs)
+		for unit, v := range extra {
+			if cur.Extra == nil {
+				cur.Extra = map[string]float64{}
+			}
+			if prev, ok := cur.Extra[unit]; !ok || v < prev {
+				cur.Extra[unit] = v
+			}
+		}
 		cur.Samples++
 		out[name] = cur
 	}
@@ -168,6 +196,60 @@ func compare(w io.Writer, base *Baseline, current map[string]BenchResult, tol, n
 	return failures
 }
 
+// ceilings is the repeatable -ceiling flag: custom-unit absolute
+// ceilings, "unit=value". Unlike the baseline comparison, ceilings are
+// absolute bounds on the current run — no committed reference needed.
+type ceilings map[string]float64
+
+func (c ceilings) String() string {
+	parts := make([]string, 0, len(c))
+	for unit, v := range c {
+		parts = append(parts, fmt.Sprintf("%s=%g", unit, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (c ceilings) Set(s string) error {
+	unit, val, ok := strings.Cut(s, "=")
+	if !ok || unit == "" {
+		return fmt.Errorf("want unit=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad ceiling value %q: %v", val, err)
+	}
+	c[unit] = v
+	return nil
+}
+
+// checkCeilings fails every benchmark whose folded custom unit exceeds
+// its absolute ceiling, writing verdicts to w. Benchmarks that don't
+// report a gated unit are ignored.
+func checkCeilings(w io.Writer, current map[string]BenchResult, c ceilings) int {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	for _, name := range names {
+		for unit, limit := range c {
+			v, ok := current[name].Extra[unit]
+			if !ok {
+				continue
+			}
+			if v > limit {
+				failures++
+				fmt.Fprintf(w, "%-60s %s %.2f  FAIL (ceiling %g)\n", name, unit, v, limit)
+			} else {
+				fmt.Fprintf(w, "%-60s %s %.2f  ok (ceiling %g)\n", name, unit, v, limit)
+			}
+		}
+	}
+	return failures
+}
+
 func main() {
 	input := flag.String("input", "-", "bench output to parse ('-' reads stdin)")
 	emit := flag.String("emit", "", "write the folded results as a JSON baseline to this path")
@@ -175,6 +257,9 @@ func main() {
 	tol := flag.Float64("tolerance", 0.20, "allowed relative regression before the gate fails")
 	nsSlack := flag.Float64("ns-slack", 1e6,
 		"absolute ns/op slack added to the tolerance (single-iteration noise floor)")
+	ceil := ceilings{}
+	flag.Var(ceil, "ceiling",
+		"absolute ceiling on a custom benchmark unit, unit=value (repeatable), e.g. -ceiling overhead_pct=5")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -215,13 +300,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchgate: wrote %d benchmarks to %s\n", len(current), *emit)
 	}
+	failed := false
 	if base != nil {
 		if failures := compare(os.Stdout, base, current, *tol, *nsSlack); failures > 0 {
 			fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond ±%.0f%% tolerance\n", failures, 100**tol)
-			os.Exit(1)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchgate: all %d baseline benchmarks within ±%.0f%% tolerance\n",
+				len(base.Benchmarks), 100**tol)
 		}
-		fmt.Fprintf(os.Stderr, "benchgate: all %d baseline benchmarks within ±%.0f%% tolerance\n",
-			len(base.Benchmarks), 100**tol)
+	}
+	if len(ceil) > 0 {
+		if failures := checkCeilings(os.Stdout, current, ceil); failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d ceiling violation(s) (%s)\n", failures, ceil.String())
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchgate: all gated units within ceilings (%s)\n", ceil.String())
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -36,9 +36,19 @@ func TestParseFoldsSamples(t *testing.T) {
 	if !ok {
 		t.Fatal("sub-benchmark missing")
 	}
-	// The custom "fidelity" metric must not be mistaken for ns or allocs.
+	// The custom "fidelity" metric must not be mistaken for ns or allocs,
+	// and lands in Extra; standard B/op does not.
 	if sub.NsPerOp != 500000 || sub.AllocsPerOp != 10 {
 		t.Errorf("sub-benchmark parsed as %+v", sub)
+	}
+	if sub.Extra["fidelity"] != 0.990 {
+		t.Errorf("custom unit not captured: %+v", sub.Extra)
+	}
+	if _, ok := sub.Extra["B/op"]; ok {
+		t.Errorf("standard unit leaked into Extra: %+v", sub.Extra)
+	}
+	if e1.Extra != nil {
+		t.Errorf("E1 has no custom units, got %+v", e1.Extra)
 	}
 	if _, ok := got["BenchmarkPrefixCachedRecompile/cold"]; !ok {
 		t.Error("benchmark after non-benchmark report lines missing")
@@ -94,5 +104,55 @@ func TestCompareNsSlack(t *testing.T) {
 	}
 	if failures := compare(&strings.Builder{}, base, current, 0.20, 1e6); failures != 1 {
 		t.Errorf("got %d failures, want 1 (heavy regression only)", failures)
+	}
+}
+
+// TestParseFoldsExtraUnits pins min-folding of custom units across
+// repeated -count samples.
+func TestParseFoldsExtraUnits(t *testing.T) {
+	const out = `
+BenchmarkObsOverhead-8 	       1	   2000000 ns/op	         4.10 overhead_pct
+BenchmarkObsOverhead-8 	       1	   2100000 ns/op	         2.30 overhead_pct
+`
+	got, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got["BenchmarkObsOverhead"]
+	if r.Samples != 2 || r.Extra["overhead_pct"] != 2.30 {
+		t.Errorf("folded to %+v, want min overhead_pct 2.30 over 2 samples", r)
+	}
+}
+
+// TestCeilingGate: absolute ceilings on custom units fail only the
+// benchmarks that report the gated unit above the bound.
+func TestCeilingGate(t *testing.T) {
+	current := map[string]BenchResult{
+		"BenchmarkObsOverhead": {NsPerOp: 1000, Extra: map[string]float64{"overhead_pct": 4.2}},
+		"BenchmarkOther":       {NsPerOp: 1000, Extra: map[string]float64{"cold/cached": 3.0}},
+		"BenchmarkPlain":       {NsPerOp: 1000},
+	}
+	c := ceilings{}
+	if err := c.Set("overhead_pct=5"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if failures := checkCeilings(&sb, current, c); failures != 0 {
+		t.Errorf("4.2 under ceiling 5 must pass:\n%s", sb.String())
+	}
+	current["BenchmarkObsOverhead"] = BenchResult{NsPerOp: 1000, Extra: map[string]float64{"overhead_pct": 6.8}}
+	sb.Reset()
+	if failures := checkCeilings(&sb, current, c); failures != 1 {
+		t.Errorf("6.8 over ceiling 5 must fail once, got %d:\n%s", failures, sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL") {
+		t.Errorf("verdict missing FAIL:\n%s", sb.String())
+	}
+	// Malformed ceilings are flag errors.
+	if err := c.Set("nounit"); err == nil {
+		t.Error("ceilings.Set accepted a spec without '='")
+	}
+	if err := c.Set("u=abc"); err == nil {
+		t.Error("ceilings.Set accepted a non-numeric value")
 	}
 }

@@ -11,6 +11,8 @@
 //	       [-prefix-cache 2048] [-compile-workers N] [-shots 1024] [-seed 1]
 //	       [-engine optimized] [-passes spec]
 //	       [-target device.json] [-calibration cal.json]
+//	       [-metrics] [-trace-ring 1024] [-pprof]
+//	       [-log-format text|json] [-log-level info]
 //
 // API:
 //
@@ -19,12 +21,37 @@
 //	                    {"cqasm": "...", "target": {<device JSON>}}
 //	                    {"cqasm": "...", "backend": "superconducting", "calibration": {<calibration JSON>}}
 //	                    {"qubo": {"n": 3, "terms": [{"i":0,"j":0,"v":-1}]}, "backend": "annealer"}
-//	GET  /jobs/{id}     job status, result, and the per-pass compile report
+//	                    the 202 response carries the job's X-Trace-Id
+//	GET  /jobs/{id}     job status, result, trace_id, and the per-pass
+//	                    compile report
+//	GET  /jobs/{id}/trace
+//	                    the job's span tree: queue wait, compile (cache
+//	                    level, per-kernel prefix, per-pass suffix),
+//	                    execution with engine shot batches
+//	PUT  /backends/{name}/calibration
+//	                    live re-calibration: atomically replace the
+//	                    backend device's calibration table (the new
+//	                    device hash rotates the compile-cache keys)
 //	GET  /backends      registered backends with full device descriptions,
 //	                    calibration tables and device content hashes
 //	GET  /stats         queue depth, per-backend throughput, per-pass compile
 //	                    latency percentiles (p50/p95/p99), cache hit rate
+//	GET  /metrics       Prometheus text-format exposition: job counters,
+//	                    latency/queue-wait histograms per backend, both
+//	                    compile-cache levels, per-pass compile timings,
+//	                    HTTP request metrics
 //	GET  /healthz       liveness probe
+//	GET  /debug/pprof/  runtime profiles (only with -pprof)
+//
+// Observability: every job gets a trace ID (equal to its job ID) at
+// submit; spans cover queue wait, compile — cache outcome, per-kernel
+// prefix compiles, per-pass suffix timings — and execution down to the
+// engine's shot batches. -trace-ring bounds how many traces stay
+// queryable; -metrics=false disables metric recording entirely (the
+// endpoint then serves an empty exposition). Structured logs (slog) go
+// to stderr keyed by trace_id: job lifecycle at info, per-request HTTP
+// access logs at debug; -log-format selects text or JSON, -log-level
+// the threshold.
 //
 // The optional "passes" field selects the compiler pass pipeline per job,
 // including per-pass options such as map(strategy=noise) for
@@ -55,8 +82,11 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -92,6 +122,14 @@ func main() {
 		"device JSON file served as an additional gate backend (see examples/devices/)")
 	calibPath := flag.String("calibration", "",
 		"calibration JSON file overlaid onto the -target device at startup")
+	metricsOn := flag.Bool("metrics", true,
+		"record and serve Prometheus metrics at /metrics")
+	traceRing := flag.Int("trace-ring", 1024,
+		"job traces retained for GET /jobs/{id}/trace (negative disables tracing)")
+	pprofOn := flag.Bool("pprof", false,
+		"serve net/http/pprof runtime profiles under /debug/pprof/")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 	flag.Parse()
 	if *qubits < 1 {
 		log.Fatalf("qservd: -qubits must be at least 1, got %d", *qubits)
@@ -104,6 +142,10 @@ func main() {
 			log.Fatalf("qservd: %v", err)
 		}
 	}
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		log.Fatalf("qservd: %v", err)
+	}
 
 	svc := qserv.DefaultService(qserv.Config{
 		QueueSize:       *queue,
@@ -115,6 +157,9 @@ func main() {
 		Seed:            *seed,
 		Engine:          *engine,
 		Passes:          *passes,
+		TraceRing:       *traceRing,
+		DisableMetrics:  !*metricsOn,
+		Logger:          logger,
 	}, *qubits, *workers)
 
 	backends := "perfect, superconducting, semiconducting, annealer, classical"
@@ -143,7 +188,20 @@ func main() {
 	}
 	svc.Start()
 
-	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// Mount the profiler beside the API: the service mux keeps owning
+		// everything but /debug/pprof/.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+	}
+	server := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		log.Printf("qservd: serving on %s (engine %s; backends: %s)", *addr, *engine, backends)
 		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -165,6 +223,24 @@ func main() {
 	st := svc.Stats()
 	log.Printf("qservd: done — %d jobs submitted, %d done, %d failed, cache hit rate %.0f%%",
 		st.JobsSubmitted, st.JobsDone, st.JobsFailed, 100*st.CacheHitRate)
+}
+
+// buildLogger assembles the service's slog logger from the -log-format
+// and -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+	}
 }
 
 // loadDevice reads a device JSON file, optionally overlaying a

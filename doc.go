@@ -98,10 +98,28 @@
 // resubmissions skip compilation entirely, and a prefix-artefact LRU so
 // map/schedule/calibration variants of known kernels recompile
 // suffix-only (both singleflight-deduplicated; /stats reports both hit
-// rates and per-backend prefix_hits). cmd/qservd serves it over HTTP
+// rates and per-backend prefix_hits). Backends support live
+// re-calibration (PUT /backends/{name}/calibration) that atomically
+// swaps the device's calibration table and rotates the compile-cache
+// keys through the device hash. cmd/qservd serves it over HTTP
 // (/submit, /jobs/{id}, /stats) and examples/service drives the API end
 // to end; this is the host-side runtime that turns the reproduction into
 // a multi-tenant system.
+//
+// The service is observable end to end through internal/obs, a
+// dependency-free metrics registry and span tracer. Every job carries a
+// trace (ID = job ID) whose spans cover queue wait, compile — cache
+// outcome, per-kernel prefix compiles, per-pass suffix timings from the
+// CompileReport — and execution down to the engine's shot batches;
+// GET /jobs/{id}/trace returns the span tree and span durations sum to
+// the job's reported latency exactly. The same registry backs
+// GET /metrics (Prometheus text exposition: job counters, per-backend
+// latency and queue-wait histograms, both compile-cache levels,
+// per-pass compile timings, HTTP request metrics) and GET /stats, which
+// is now a thin view over it. Structured slog logging is keyed by
+// trace_id, and cmd/qservd exposes net/http/pprof behind -pprof. A CI
+// benchmark (BenchmarkObsOverhead) holds the instrumentation overhead
+// under 5% through the cmd/benchgate ceiling gate.
 //
 // The benchmark harness in bench_test.go regenerates every figure and
 // quantitative claim of the paper; see DESIGN.md for the experiment index

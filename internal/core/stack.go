@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/microarch"
@@ -114,6 +115,33 @@ func NewStackForDevice(dev *target.Device, seed int64) (*Stack, error) {
 	s.Noise = NoiseFromDevice(dev)
 	s.Microcode = microcodeFor(dev)
 	return s, nil
+}
+
+// WithDevice rebuilds the stack for a different device description —
+// the device decides mode, platform, noise model and microcode — while
+// carrying over every compiler and execution tuning knob (optimize,
+// policy, mapping, pass spec, engine, shot/kernel/compile parallelism,
+// the shared compile gate and prefix cache). This is how per-job target
+// and calibration overrides materialise in qserv, and how a running
+// service re-calibrates a backend in place: the rebuilt stack's device
+// hash keys fresh full-artefact cache entries while its prefix entries
+// (keyed on the gate set alone) stay live.
+func (s *Stack) WithDevice(dev *target.Device) (*Stack, error) {
+	out, err := NewStackForDevice(dev, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out.Optimize = s.Optimize
+	out.Policy = s.Policy
+	out.Mapping = s.Mapping
+	out.Passes = s.Passes
+	out.Engine = s.Engine
+	out.ParallelShots = s.ParallelShots
+	out.KernelWorkers = s.KernelWorkers
+	out.CompileWorkers = s.CompileWorkers
+	out.CompileGate = s.CompileGate
+	out.PrefixCache = s.PrefixCache
+	return out, nil
 }
 
 // mustStackForDevice builds a stack for a device known to be valid (the
@@ -233,6 +261,11 @@ type Report struct {
 	Compile *compiler.CompileReport
 	// WallNs is the modelled execution time of one shot in nanoseconds.
 	WallNs int
+	// ExecNs is the measured wall time of the execution phase (engine
+	// shots, or eQASM through the micro-architecture on realistic
+	// stacks) — the run half of the compile/run split. The compile half
+	// is Compile.TotalNs.
+	ExecNs int64
 }
 
 // Execute compiles and runs an OpenQL program on the stack.
@@ -300,6 +333,7 @@ func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int,
 		if err != nil {
 			return nil, err
 		}
+		report.ExecNs = res.ElapsedNs
 		report.Result = toLogical(res, logicalQubits, compiled.MapResult)
 		return report, nil
 	}
@@ -310,10 +344,12 @@ func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int,
 	if parallel {
 		machine.ShotWorkers = runtime.GOMAXPROCS(0)
 	}
+	execStart := time.Now()
 	run, err := machine.Execute(compiled.EQASM, shots)
 	if err != nil {
 		return nil, err
 	}
+	report.ExecNs = time.Since(execStart).Nanoseconds()
 	report.EQASM = compiled.EQASM.String()
 	report.Result = toLogical(run.Result, logicalQubits, compiled.MapResult)
 	report.Trace = run.Trace

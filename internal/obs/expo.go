@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, children sorted by
+// label values, histograms expanded to cumulative _bucket/_sum/_count
+// series. OnCollect hooks run first, so scrape-time mirrors are fresh.
+// The output is deterministic for a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+
+	for _, fn := range collectors {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry over HTTP in the text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w io.Writer) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+		return err
+	}
+	if f.fn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
+		return err
+	}
+	f.mu.Lock()
+	children := make([]*metric, 0, len(f.children))
+	for _, m := range f.children {
+		children = append(children, m)
+	}
+	f.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].labelValues, "\xff") < strings.Join(children[j].labelValues, "\xff")
+	})
+	for _, m := range children {
+		if err := f.writeChild(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeChild(w io.Writer, m *metric) error {
+	if f.typ != typeHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n",
+			f.name, labelString(f.labels, m.labelValues, "", ""),
+			formatFloat(math.Float64frombits(m.bits.Load())))
+		return err
+	}
+	var cum uint64
+	for i, bound := range m.buckets {
+		cum += m.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelString(f.labels, m.labelValues, "le", formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += m.counts[len(m.buckets)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		f.name, labelString(f.labels, m.labelValues, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		f.name, labelString(f.labels, m.labelValues, "", ""),
+		formatFloat(math.Float64frombits(m.sumBits.Load()))); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		f.name, labelString(f.labels, m.labelValues, "", ""), cum)
+	return err
+}
+
+// labelString renders a {k="v",...} label set, appending the extra pair
+// (the histogram "le" bound) when extraKey is non-empty. Empty label
+// sets render as nothing.
+func labelString(names, values []string, extraKey, extraVal string) string {
+	if len(names) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}

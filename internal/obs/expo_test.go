@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The exposition format is a wire contract: pin it against a golden
+// file (regenerate with `go test ./internal/obs -run Golden -update`).
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	jobs := r.NewCounterVec("qserv_jobs_completed_total", "Jobs completed, by backend and status.", "backend", "status")
+	jobs.With("perfect", "done").Add(41)
+	jobs.With("perfect", "failed").Inc()
+	jobs.With(`we"ird\back`+"\nend`", "done").Inc() // label escaping
+	r.NewCounter("qserv_jobs_submitted_total", "Jobs admitted by Submit.").Add(43)
+	r.NewGaugeVec("qserv_queue_depth", "Queued jobs per backend.", "backend").With("perfect").Set(3)
+	h := r.NewHistogramVec("qserv_job_latency_seconds", "Submit-to-finish latency.",
+		[]float64{0.001, 0.01, 0.1}, "backend").With("perfect")
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(7)
+	r.GaugeFunc("qserv_uptime_seconds", "Seconds since Start.", func() float64 { return 12.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// The HTTP handler serves the same rendering with the Prometheus
+// content type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "").Add(5)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 4096)
+	n, _ := res.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total 5") {
+		t.Errorf("body missing sample: %q", buf[:n])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5:       "5",
+		0.001:   "0.001",
+		1.5e-07: "1.5e-07",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -2,13 +2,17 @@ package qserv
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/accel"
 	"repro/internal/anneal"
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/cqasm"
+	"repro/internal/obs"
 	"repro/internal/openql"
 	"repro/internal/target"
 )
@@ -26,6 +30,11 @@ type CompileEnv struct {
 	// Workers is the per-compile kernel parallelism ceiling applied to
 	// stacks that don't set their own.
 	Workers int
+	// Span is the job's run span, under which the backend attaches
+	// compile and execute phase spans (nil — the usual shared env —
+	// disables tracing; the service hands workers a per-job copy
+	// carrying the span).
+	Span *obs.Span
 }
 
 // Backend is one execution target behind the service's worker pools. Run
@@ -49,21 +58,62 @@ type DeviceProvider interface {
 	Device() *target.Device
 }
 
+// Recalibrator is implemented by backends whose device calibration can
+// be replaced while the service runs — the backend half of
+// PUT /backends/{name}/calibration. Recalibrate validates the table
+// against the backend's device, applies it atomically (in-flight jobs
+// finish against the old tables) and returns the re-calibrated device.
+type Recalibrator interface {
+	Recalibrate(cal *target.Calibration) (*target.Device, error)
+}
+
 // StackBackend runs gate jobs through a full core.Stack, caching compiled
-// circuits across jobs.
+// circuits across jobs. The stack is held behind an atomic pointer so
+// live recalibration can swap it without stalling concurrent workers.
 type StackBackend struct {
-	Stack *core.Stack
+	stack atomic.Pointer[core.Stack]
 }
 
 // NewStackBackend wraps a stack as a service backend.
-func NewStackBackend(s *core.Stack) *StackBackend { return &StackBackend{Stack: s} }
+func NewStackBackend(s *core.Stack) *StackBackend {
+	b := &StackBackend{}
+	b.stack.Store(s)
+	return b
+}
+
+// Stack returns the backend's current stack (recalibration replaces it).
+func (b *StackBackend) Stack() *core.Stack { return b.stack.Load() }
 
 // Name returns the stack name ("perfect", "superconducting", …).
-func (b *StackBackend) Name() string { return b.Stack.Name }
+func (b *StackBackend) Name() string { return b.Stack().Name }
 
 // Device returns the device description behind the backend's stack
 // (synthesised for hand-built platforms).
-func (b *StackBackend) Device() *target.Device { return b.Stack.Platform.AsDevice() }
+func (b *StackBackend) Device() *target.Device { return b.Stack().Platform.AsDevice() }
+
+// Recalibrate overlays a new calibration table on the backend's device
+// and swaps in a stack rebuilt for the re-calibrated device; compiler
+// and execution tuning carry over (core.Stack.WithDevice). The new
+// device hash keys fresh full-artefact cache entries, so no job ever
+// reuses a compile against the stale tables, while platform-generic
+// prefix artefacts stay live. Lock-free: concurrent recalibrations
+// retry on a CAS.
+func (b *StackBackend) Recalibrate(cal *target.Calibration) (*target.Device, error) {
+	for {
+		cur := b.stack.Load()
+		dev := cur.Platform.AsDevice().WithCalibration(cal)
+		if err := dev.Validate(); err != nil {
+			return nil, err
+		}
+		next, err := cur.WithDevice(dev)
+		if err != nil {
+			return nil, err
+		}
+		if b.stack.CompareAndSwap(cur, next) {
+			return dev, nil
+		}
+	}
+}
 
 // Accepts reports whether the request is a gate job.
 func (b *StackBackend) Accepts(r *Request) bool { return r.CQASM != "" || r.Program != nil }
@@ -86,7 +136,7 @@ func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bo
 	if err != nil {
 		return nil, false, err
 	}
-	stack := b.Stack
+	stack := b.Stack()
 	if r.Target != nil || r.Calibration != nil {
 		dev := r.Target
 		if dev == nil {
@@ -95,22 +145,13 @@ func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bo
 		if r.Calibration != nil {
 			dev = dev.WithCalibration(r.Calibration)
 		}
-		override, err := core.NewStackForDevice(dev, stack.Seed)
+		// The device decides mode, platform, noise and microcode; the
+		// backend's compiler and execution tuning carries over
+		// (core.Stack.WithDevice).
+		override, err := stack.WithDevice(dev)
 		if err != nil {
 			return nil, false, err
 		}
-		// The device decides mode, platform, noise and microcode; the
-		// backend's compiler and execution tuning carries over.
-		override.Optimize = stack.Optimize
-		override.Policy = stack.Policy
-		override.Mapping = stack.Mapping
-		override.Passes = stack.Passes
-		override.Engine = stack.Engine
-		override.ParallelShots = stack.ParallelShots
-		override.KernelWorkers = stack.KernelWorkers
-		override.CompileWorkers = stack.CompileWorkers
-		override.CompileGate = stack.CompileGate
-		override.PrefixCache = stack.PrefixCache
 		stack = override
 	}
 	if (r.Engine != "" && r.Engine != stack.Engine) || (r.Passes != "" && r.Passes != stack.Passes) {
@@ -143,11 +184,18 @@ func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bo
 		compiled *openql.Compiled
 		hit      bool
 	)
+	var span *obs.Span
+	if env != nil {
+		span = env.Span
+	}
 	var cache *CompileCache
 	if env != nil {
 		cache = env.Cache
 	}
+	cspan := span.StartChild("compile")
+	compileStart := time.Now()
 	if cache == nil {
+		cspan.SetAttr("cache", "off")
 		compiled, err = stack.Compile(p)
 	} else {
 		// Keyed on the compile fingerprint only: an engine override
@@ -156,15 +204,85 @@ func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bo
 		compiled, hit, err = cache.GetOrCompile(key, func() (*openql.Compiled, error) {
 			return stack.Compile(p)
 		})
+		if err == nil {
+			if hit {
+				cspan.SetAttr("cache", "hit")
+			} else {
+				cspan.SetAttr("cache", "miss")
+			}
+		}
 	}
 	if err != nil {
+		cspan.SetAttr("error", err.Error())
+		cspan.End()
 		return nil, false, err
 	}
+	if !hit {
+		synthesizeCompileSpans(cspan, compileStart, compiled.Report)
+	}
+	cspan.End()
+	espan := span.StartChild("execute")
 	rep, err := stack.RunCompiled(compiled, p.NumQubits, r.Shots, seed)
 	if err != nil {
+		espan.SetAttr("error", err.Error())
+		espan.End()
 		return nil, hit, err
 	}
+	if espan != nil {
+		espan.SetAttr("shots", strconv.Itoa(r.Shots))
+		if rep.ExecNs > 0 {
+			// The engine's measured wall time, anchored so the span ends
+			// where the execute phase does.
+			d := time.Duration(rep.ExecNs)
+			eng := espan.ChildAt("engine", time.Now().Add(-d), d)
+			if res := rep.Result; res != nil && res.Batches > 0 {
+				eng.SetAttr("shot_batches", strconv.Itoa(res.Batches))
+			}
+		}
+	}
+	espan.End()
 	return &Result{Report: rep}, hit, nil
+}
+
+// synthesizeCompileSpans grafts the compile report's timing records
+// under the compile span: one span per kernel's trip through the
+// platform-generic prefix (kernels may have compiled in parallel, so
+// each starts at the compile start with its own wall time — overlap is
+// honest) and one span per suffix pass row, laid end to end. Offsets
+// within the compile span are approximate; durations are the measured
+// wall times.
+func synthesizeCompileSpans(parent *obs.Span, start time.Time, rep *compiler.CompileReport) {
+	if parent == nil || rep == nil {
+		return
+	}
+	for _, k := range rep.Kernels {
+		ks := parent.ChildAt("kernel:"+k.Kernel, start, time.Duration(k.WallNs))
+		if k.PrefixCached {
+			ks.SetAttr("prefix_cached", "true")
+		}
+	}
+	// The leading rows of a kernel-by-kernel compile aggregate the
+	// prefix passes over all kernels — already covered by the kernel
+	// spans above, so skip them here.
+	skip := 0
+	if rep.PrefixSpec != "" {
+		if passes, err := compiler.ParsePassSpec(rep.PrefixSpec); err == nil {
+			skip = len(passes)
+		}
+	}
+	at := start
+	for i, m := range rep.Passes {
+		if i < skip {
+			continue
+		}
+		d := time.Duration(m.WallNs)
+		ps := parent.ChildAt("pass:"+m.Pass, at, d)
+		ps.SetAttr("gates", strconv.Itoa(m.GatesBefore)+"->"+strconv.Itoa(m.GatesAfter))
+		if m.AddedSwaps > 0 {
+			ps.SetAttr("added_swaps", strconv.Itoa(m.AddedSwaps))
+		}
+		at = at.Add(d)
+	}
 }
 
 // canonicalText renders the program's kernel partition canonically: one
@@ -297,6 +415,8 @@ func NewClassicalFallback(label string, maxVars int) *AccelBackend {
 
 // Compile-time interface checks.
 var (
-	_ Backend = (*StackBackend)(nil)
-	_ Backend = (*AccelBackend)(nil)
+	_ Backend        = (*StackBackend)(nil)
+	_ Backend        = (*AccelBackend)(nil)
+	_ DeviceProvider = (*StackBackend)(nil)
+	_ Recalibrator   = (*StackBackend)(nil)
 )

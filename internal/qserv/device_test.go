@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/anneal"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/qubo"
 	"repro/internal/target"
 )
@@ -298,34 +299,20 @@ func TestStatsPassLatencyPercentiles(t *testing.T) {
 	}
 }
 
-// Histogram bucketing: monotone bucket mapping and quantile estimates
-// that bracket the recorded values.
+// Latency histogram semantics after the obs migration: the shared
+// geometric ladder keeps sub-microsecond pass times and multi-ms
+// outliers apart, and its quantile estimates bracket the recorded
+// values the way the old hand-rolled histogram did.
 func TestLatencyHistogram(t *testing.T) {
-	if latencyBucket(0) != 0 || latencyBucket(127) != 0 {
-		t.Error("sub-128ns values must land in bucket 0")
-	}
-	if latencyBucket(128) != 1 || latencyBucket(255) != 1 || latencyBucket(256) != 2 {
-		t.Error("bucket boundaries wrong")
-	}
-	last := -1
-	for ns := int64(1); ns < int64(1)<<50; ns *= 2 {
-		b := latencyBucket(ns)
-		if b < last {
-			t.Fatalf("bucket not monotone at %d ns", ns)
-		}
-		last = b
-	}
-	var a passAggregate
+	h := obs.NewRegistry().NewHistogram("test_latency_seconds", "t", obs.LatencyBuckets)
 	for i := 0; i < 99; i++ {
-		a.runs++
-		a.hist[latencyBucket(1000)]++ // ~1 µs
+		h.ObserveSeconds(1000) // ~1 µs
 	}
-	a.runs++
-	a.hist[latencyBucket(50_000_000)]++ // one 50 ms outlier
-	if p50 := a.quantileUs(0.50); p50 > 2 {
+	h.ObserveSeconds(50_000_000) // one 50 ms outlier
+	if p50 := h.Quantile(0.50) * 1e6; p50 <= 0 || p50 > 2 {
 		t.Errorf("p50 = %g µs, want ~1 µs", p50)
 	}
-	if p99 := a.quantileUs(0.995); p99 < 1000 {
+	if p99 := h.Quantile(0.995) * 1e6; p99 < 1000 {
 		t.Errorf("p99.5 = %g µs, should catch the 50 ms outlier", p99)
 	}
 }

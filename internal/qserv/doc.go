@@ -75,6 +75,17 @@
 // artefacts routed for the stale error rates, while identical tables
 // keep hitting their own cached entry.
 //
+// Beyond per-job overrides, gate backends support live re-calibration:
+// PUT /backends/{name}/calibration (Service.Recalibrate) validates a
+// fresh table against the backend's topology and atomically swaps the
+// backend's device — a compare-and-swap on the stack pointer, so
+// in-flight jobs finish against the device they started with while new
+// jobs compile against the new table. The swap rotates the device hash
+// and with it every full-artefact cache key; prefix artefacts, which
+// calibration cannot affect, stay live, so the first post-reload job
+// recompiles suffix-only. Reloads are counted per backend
+// (qserv_calibration_reloads_total).
+//
 // # Compiler pass pipelines
 //
 // Gate compilation runs through the pass-manager compiler rather than a
@@ -162,18 +173,59 @@
 // `go test -race`. Parallel shot batches stay deterministic per
 // (seed, core count).
 //
+// # Observability
+//
+// The service is instrumented end to end through internal/obs — a
+// dependency-free metrics registry and span tracer — wired in by
+// default and removable with Config.DisableMetrics / a negative
+// Config.TraceRing.
+//
+// Tracing: every job gets a trace whose ID is the job ID, started at
+// submit and retained in a bounded ring (Config.TraceRing). The root
+// "job" span is pinned to the job's submit/finish timestamps, so its
+// duration equals the reported latency exactly, and its children
+// partition it: "queue.wait" (admission to worker pickup) and "run",
+// under which the backend records "compile" — with a cache attribute
+// (hit/miss/off), per-kernel prefix-compile spans and per-pass suffix
+// spans synthesised from the compiler.CompileReport — and "execute"
+// with an "engine" child carrying the measured execution time and shot
+// batch count. GET /jobs/{id}/trace returns the span tree as JSON,
+// GET /jobs/{id} includes the trace_id, and POST /submit echoes it in
+// the X-Trace-Id response header.
+//
+// Metrics: a single obs.Registry (Config.Metrics, or a private one by
+// default) holds every counter, gauge and histogram — jobs submitted/
+// completed by status, per-backend latency and queue-wait histograms,
+// live queue depth, worker busy time, both compile-cache levels
+// (qserv_compile_cache_ops_total, _entries, and the explicit
+// qserv_compile_cache_skips_total{level=full|prefix} counting work
+// skipped: full pipelines and per-kernel prefixes), calibration
+// reloads, compile/execute histograms, per-pass compile timings and
+// HTTP request counts/durations (every request is wrapped in a timing
+// middleware labelled by route pattern). GET /metrics serves the
+// Prometheus text exposition; GET /stats is a thin view over the same
+// registry, so the two can never disagree. The arithmetic is auditable:
+// per backend, pass runs == jobs done − compile_cache_skips{full}.
+//
+// Logging: Config.Logger accepts a *slog.Logger (default: discard).
+// Job lifecycle events log at Info and HTTP access at Debug, all keyed
+// by trace_id so logs, metrics and traces join on one identifier.
+//
 // The embedded HTTP API (Service.Handler) exposes POST /submit,
 // GET /jobs/{id} (with optional ?wait=duration long-polling),
-// GET /backends — device descriptions, calibration data and content
-// hashes — and GET /stats — queue depth, per-backend throughput, both
-// cache levels ("cache"/"cache_hit_rate" for full artefacts,
+// GET /jobs/{id}/trace, GET /backends — device descriptions,
+// calibration data and content hashes — PUT /backends/{name}/calibration,
+// GET /metrics, and GET /stats — queue depth, per-backend throughput,
+// both cache levels ("cache"/"cache_hit_rate" for full artefacts,
 // "prefix_cache"/"prefix_hit_rate" for prefix artefacts, per-backend
-// "prefix_hits" counting kernels served suffix-only) and per-pass
-// compile latency percentiles — so operators can see where the time
-// went, the service-level analogue of the host's Amdahl accounting in
-// internal/accel. Job compile reports carry the per-kernel breakdown
+// "prefix_hits" counting kernels served suffix-only,
+// "compile_cache_skips" making the hit-rate arithmetic explicit) and
+// per-pass compile latency percentiles — so operators can see where the
+// time went, the service-level analogue of the host's Amdahl accounting
+// in internal/accel. Job compile reports carry the per-kernel breakdown
 // ("kernels", "prefix_hits", "compile_workers"). cmd/qservd wires the
 // default heterogeneous system behind this API (-prefix-cache and
-// -compile-workers size the new layer) and can serve any device JSON
-// file as an extra backend via -target.
+// -compile-workers size the new layer), can serve any device JSON file
+// as an extra backend via -target, and adds -metrics, -trace-ring,
+// -pprof and the -log-* flags for the observability layer.
 package qserv

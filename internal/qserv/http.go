@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/compiler"
@@ -78,8 +79,11 @@ type SubmitResponse struct {
 
 // JobView is the JSON rendering of a job for GET /jobs/{id}.
 type JobView struct {
-	ID       string `json:"id"`
-	Name     string `json:"name,omitempty"`
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// TraceID names the job's span tree, served by GET /jobs/{id}/trace
+	// (empty when tracing is disabled). It equals the job ID.
+	TraceID  string `json:"trace_id,omitempty"`
 	Status   Status `json:"status"`
 	Backend  string `json:"backend"`
 	CacheHit bool   `json:"cache_hit"`
@@ -117,6 +121,7 @@ func viewJob(j *Job) JobView {
 	v := JobView{
 		ID:           j.ID,
 		Name:         j.Req.Name,
+		TraceID:      j.TraceID(),
 		Status:       j.Status(),
 		Backend:      j.Backend(),
 		CacheHit:     j.CacheHit(),
@@ -166,23 +171,78 @@ func viewJob(j *Job) JobView {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /submit        submit a job (202, or 503 when the queue is full)
+//	POST /submit        submit a job (202, or 503 when the queue is full);
+//	                    the response carries the job's trace ID in the
+//	                    X-Trace-Id header
 //	GET  /jobs/{id}     job status and result; ?wait=2s long-polls
+//	GET  /jobs/{id}/trace
+//	                    the job's span tree: queue wait, compile (cache
+//	                    level, per-kernel prefix, per-pass suffix),
+//	                    execution (engine + shot batches) — durations in
+//	                    nanoseconds, the root span spanning submit to
+//	                    finish exactly
+//	PUT  /backends/{name}/calibration
+//	                    live re-calibration: replace the backend device's
+//	                    calibration table (400 invalid, 404 unknown)
 //	GET  /backends      registered backends with device + calibration data
 //	GET  /stats         queue depth, per-backend throughput, hit rates of
 //	                    both compile-cache levels (full + prefix), per-pass
 //	                    compile latency percentiles
+//	GET  /metrics       Prometheus text-format exposition of every qserv
+//	                    metric (jobs, latency histograms, cache levels,
+//	                    compile passes, HTTP traffic)
 //	GET  /healthz       liveness probe
+//
+// Every request passes through the instrumentation middleware:
+// per-route counters/latency histograms and a Debug-level access log.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /submit", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("PUT /backends/{name}/calibration", s.handleCalibration)
 	mux.HandleFunc("GET /backends", s.handleBackends)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return s.instrument(mux)
+}
+
+// statusRecorder captures the response code for the request metrics and
+// access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the API mux with request metrics (labelled by the
+// matched route pattern, so path parameters don't explode cardinality)
+// and structured request logging.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		elapsed := time.Since(start)
+		if s.met != nil {
+			s.met.httpRequests.With(r.Method, pattern, strconv.Itoa(rec.code)).Inc()
+			s.met.httpSecs.With(pattern).ObserveSeconds(elapsed.Nanoseconds())
+		}
+		s.log.Debug("http request",
+			"method", r.Method, "path", r.URL.Path, "pattern", pattern,
+			"status", rec.code, "duration_ms", float64(elapsed.Nanoseconds())/1e6)
+	})
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -230,10 +290,53 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if id := job.TraceID(); id != "" {
+		w.Header().Set("X-Trace-Id", id)
+	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
 		ID:      job.ID,
 		Status:  job.Status(),
 		Backend: job.Backend(),
+	})
+}
+
+// handleJobTrace serves the job's span tree. 404 covers unknown jobs,
+// disabled tracing and traces evicted from the bounded ring.
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	tr, ok := s.tracer.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace for job %q (tracing disabled or trace evicted)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.View())
+}
+
+// handleCalibration applies a live calibration reload to a backend:
+// the request body is a calibration table in the device-JSON schema.
+func (s *Service) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var cal target.Calibration
+	if err := json.NewDecoder(r.Body).Decode(&cal); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return
+	}
+	dev, err := s.Recalibrate(name, &cal)
+	switch {
+	case errors.Is(err, ErrUnknownBackend):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"backend":     name,
+		"device_hash": dev.Hash(),
 	})
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/openql"
 	"repro/internal/qubo"
 	"repro/internal/qx"
@@ -138,6 +139,14 @@ type Job struct {
 	pool *backendPool // resolved at submit time
 	seed int64
 
+	// trace is the job's span tree (nil when tracing is disabled); the
+	// trace ID is the job ID. queueSpan covers submit-to-start and is
+	// ended by the worker when the job leaves the queue. Both are set
+	// before the job is enqueued and never reassigned, so workers read
+	// them without the job mutex.
+	trace     *obs.Trace
+	queueSpan *obs.Span
+
 	mu        sync.Mutex
 	status    Status
 	err       error
@@ -192,6 +201,12 @@ func (j *Job) CacheHit() bool {
 
 // Backend returns the name of the backend the job was routed to.
 func (j *Job) Backend() string { return j.pool.b.Name() }
+
+// Trace returns the job's span tree (nil when tracing is disabled).
+func (j *Job) Trace() *obs.Trace { return j.trace }
+
+// TraceID returns the job's trace ID ("" when tracing is disabled).
+func (j *Job) TraceID() string { return j.trace.ID() }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }

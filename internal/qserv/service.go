@@ -4,14 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
+	"io"
+	"log/slog"
 	"runtime"
-	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/obs"
 	"repro/internal/target"
 )
 
@@ -63,6 +65,23 @@ type Config struct {
 	// oldest finished jobs are evicted beyond it (default 4096; negative
 	// retains everything — for tests and short-lived services).
 	RetainJobs int
+	// Metrics is the registry the service registers its instruments in;
+	// nil creates a private one (exposed via Service.Metrics and the
+	// GET /metrics endpoint). A registry hosts at most one service —
+	// sharing one across services panics on the duplicate families.
+	Metrics *obs.Registry
+	// TraceRing bounds how many job traces stay queryable via
+	// GET /jobs/{id}/trace (default 1024; negative disables tracing).
+	TraceRing int
+	// Logger receives the service's structured logs — job lifecycle at
+	// Info, per-request HTTP logs at Debug — every record keyed by
+	// trace_id. Nil discards everything (library default; qservd passes
+	// a real logger).
+	Logger *slog.Logger
+	// DisableMetrics skips instrument registration and all recording.
+	// Only the obs-overhead benchmark should set it: with metrics
+	// disabled /stats reports zero counters.
+	DisableMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -93,130 +112,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// backendPool couples a backend with its worker lane and counters.
+// backendPool couples a backend with its worker lane and its resolved
+// instrument handles (nil when metrics are disabled — /stats then
+// reports zero counters).
 type backendPool struct {
 	b       Backend
 	workers int
 	ch      chan *Job
-
-	jobsDone   atomic.Uint64
-	jobsFailed atomic.Uint64
-	busyNs     atomic.Int64
-	cacheHits  atomic.Uint64
-	prefixHits atomic.Uint64
-
-	// passMu guards passAgg: per-compiler-pass totals accumulated from
-	// the compile reports of jobs that actually compiled (cache hits
-	// skipped the pipeline and are excluded).
-	passMu  sync.Mutex
-	passAgg map[string]*passAggregate
-}
-
-// latencyBuckets sizes the per-pass latency histograms: geometric
-// buckets doubling from 128 ns, spanning sub-microsecond passes to
-// multi-second outliers in 36 buckets.
-const latencyBuckets = 36
-
-// latencyBucket maps a wall time to its histogram bucket: bucket 0 is
-// [0, 128 ns), bucket i ≥ 1 covers [128·2^(i-1), 128·2^i) ns.
-func latencyBucket(ns int64) int {
-	b := 0
-	for v := ns >> 7; v > 0 && b < latencyBuckets-1; v >>= 1 {
-		b++
-	}
-	return b
-}
-
-// bucketMidUs is the representative value of a bucket in microseconds:
-// the geometric midpoint of its bounds.
-func bucketMidUs(b int) float64 {
-	if b == 0 {
-		return 64.0 / 1e3 // midpoint of [0, 128) ns
-	}
-	lo := float64(int64(128) << (b - 1))
-	return lo * math.Sqrt2 / 1e3
-}
-
-// passAggregate is one pass's running totals within a pool, plus the
-// latency histogram its percentiles are read from.
-type passAggregate struct {
-	runs     uint64
-	ns       int64
-	gatesIn  uint64
-	gatesOut uint64
-	swaps    uint64
-	hist     [latencyBuckets]uint64
-}
-
-// quantileUs estimates the q-quantile (0 < q ≤ 1) of the pass's wall
-// times from its histogram, in microseconds.
-func (a *passAggregate) quantileUs(q float64) float64 {
-	if a.runs == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(a.runs)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum uint64
-	for b, n := range a.hist {
-		cum += n
-		if cum >= rank {
-			return bucketMidUs(b)
-		}
-	}
-	return bucketMidUs(latencyBuckets - 1)
-}
-
-// recordCompile folds one compile report into the pool's per-pass totals.
-func (p *backendPool) recordCompile(rep *compiler.CompileReport) {
-	p.passMu.Lock()
-	defer p.passMu.Unlock()
-	if p.passAgg == nil {
-		p.passAgg = map[string]*passAggregate{}
-	}
-	for _, m := range rep.Passes {
-		a := p.passAgg[m.Pass]
-		if a == nil {
-			a = &passAggregate{}
-			p.passAgg[m.Pass] = a
-		}
-		a.runs++
-		a.ns += m.WallNs
-		a.gatesIn += uint64(m.GatesBefore)
-		a.gatesOut += uint64(m.GatesAfter)
-		a.swaps += uint64(m.AddedSwaps)
-		a.hist[latencyBucket(m.WallNs)]++
-	}
-}
-
-// passStats snapshots the pool's per-pass totals, sorted by pass name.
-func (p *backendPool) passStats() []PassStats {
-	p.passMu.Lock()
-	defer p.passMu.Unlock()
-	if len(p.passAgg) == 0 {
-		return nil
-	}
-	out := make([]PassStats, 0, len(p.passAgg))
-	for name, a := range p.passAgg {
-		ps := PassStats{
-			Pass:       name,
-			Runs:       a.runs,
-			TotalMs:    float64(a.ns) / 1e6,
-			GatesIn:    a.gatesIn,
-			GatesOut:   a.gatesOut,
-			AddedSwaps: a.swaps,
-			P50Us:      a.quantileUs(0.50),
-			P95Us:      a.quantileUs(0.95),
-			P99Us:      a.quantileUs(0.99),
-		}
-		if a.runs > 0 {
-			ps.AvgUs = float64(a.ns) / float64(a.runs) / 1e3
-		}
-		out = append(out, ps)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pass < out[j].Pass })
-	return out
+	met     *poolMetrics
 }
 
 // Service is the concurrent accelerator service: bounded per-backend job
@@ -227,6 +130,10 @@ type Service struct {
 	cache  *CompileCache
 	prefix *PrefixCache
 	env    *CompileEnv
+	reg    *obs.Registry
+	met    *serviceMetrics
+	tracer *obs.Tracer
+	log    *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -267,8 +174,75 @@ func New(cfg Config) *Service {
 		Gate:    compiler.NewWorkerGate(workers),
 		Workers: workers,
 	}
+	s.reg = cfg.Metrics
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	if !cfg.DisableMetrics {
+		s.met = newServiceMetrics(s.reg)
+		s.registerCollectors()
+	}
+	ring := cfg.TraceRing
+	if ring == 0 {
+		ring = 1024
+	}
+	if ring > 0 {
+		s.tracer = obs.NewTracer(ring)
+	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		// Discard logs entirely: a level above every slog level makes
+		// Enabled fail before any record is built.
+		s.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+			Level: slog.LevelError + 4,
+		}))
+	}
 	return s
 }
+
+// registerCollectors wires the scrape-time mirrors: uptime, per-backend
+// queue depth and the shared compile caches' hit/miss/entry counts.
+func (s *Service) registerCollectors() {
+	s.reg.GaugeFunc("qserv_uptime_seconds", "Seconds since Start.", func() float64 {
+		s.mu.Lock()
+		startedAt := s.startedAt
+		s.mu.Unlock()
+		if startedAt.IsZero() {
+			return 0
+		}
+		return time.Since(startedAt).Seconds()
+	})
+	s.reg.OnCollect(func() {
+		s.mu.Lock()
+		pools := make([]*backendPool, len(s.pools))
+		copy(pools, s.pools)
+		s.mu.Unlock()
+		for _, p := range pools {
+			if p.met != nil {
+				p.met.queueDepth.Set(float64(len(p.ch)))
+			}
+		}
+		mirror := func(level string, st CacheStats) {
+			s.met.cacheOps.With(level, "hit").Set(float64(st.Hits))
+			s.met.cacheOps.With(level, "miss").Set(float64(st.Misses))
+			s.met.cacheEntries.With(level).Set(float64(st.Entries))
+		}
+		if s.cache != nil {
+			mirror("full", s.cache.Stats())
+		}
+		if s.prefix != nil {
+			mirror("prefix", s.prefix.Stats())
+		}
+	})
+}
+
+// Metrics exposes the service's metric registry — the one behind
+// GET /metrics.
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// Tracer exposes the service's trace ring (nil when tracing is
+// disabled).
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
 
 // Cache exposes the shared full-artefact compile cache (nil when
 // disabled).
@@ -294,7 +268,12 @@ func (s *Service) AddBackend(b Backend, workers int) {
 	}
 	// The channel is the backend's bounded job queue: workers pull from
 	// it directly, Submit fails fast once it fills.
-	p := &backendPool{b: b, workers: workers, ch: make(chan *Job, s.cfg.QueueSize)}
+	p := &backendPool{
+		b:       b,
+		workers: workers,
+		ch:      make(chan *Job, s.cfg.QueueSize),
+		met:     s.met.pool(b.Name()),
+	}
 	s.pools = append(s.pools, p)
 	s.byName[b.Name()] = p
 }
@@ -339,31 +318,78 @@ func (s *Service) Stop() {
 func (s *Service) worker(p *backendPool) {
 	defer s.wg.Done()
 	for job := range p.ch {
-		job.markRunning()
-		start := time.Now()
-		res, hit, err := p.b.Run(&job.Req, job.seed, s.env)
-		p.busyNs.Add(time.Since(start).Nanoseconds())
-		if hit {
-			p.cacheHits.Add(1)
-		}
-		// Aggregate per-pass compile metrics from jobs that actually ran
-		// the pipeline; full-artefact cache hits reuse a prior job's
-		// artefact. Prefix-cache hits show up here too: a suffix-only
-		// recompile reports no prefix pass rows (nothing ran for them)
-		// and bumps the pool's prefix-hit counter per fetched kernel.
+		s.runJob(p, job)
+	}
+}
+
+// runJob executes one job on its pool's backend, closing the job's
+// trace spans at the exact job timestamps (so the root span's duration
+// equals the reported latency and queue.wait + run partition it) and
+// recording the pool's instruments.
+func (s *Service) runJob(p *backendPool, job *Job) {
+	job.markRunning()
+	submitted, started, _ := job.Times()
+	job.queueSpan.EndAt(started)
+	root := job.trace.Root()
+	runSpan := root.StartChildAt("run", started)
+	env := s.env
+	if runSpan != nil {
+		// Hand the backend a per-job copy of the shared env carrying the
+		// run span, so compile/execute phases attach under it.
+		jobEnv := *s.env
+		jobEnv.Span = runSpan
+		env = &jobEnv
+	}
+	start := time.Now()
+	res, hit, err := p.b.Run(&job.Req, job.seed, env)
+	busy := time.Since(start)
+	job.finish(res, hit, err)
+	_, _, finished := job.Times()
+	runSpan.SetAttr("cache_hit", strconv.FormatBool(hit))
+	runSpan.EndAt(finished)
+	root.SetAttr("status", string(job.Status()))
+	root.EndAt(finished)
+	if m := p.met; m != nil {
+		m.busy.Add(busy.Seconds())
+		m.queueWait.ObserveSeconds(started.Sub(submitted).Nanoseconds())
+		m.latency.ObserveSeconds(finished.Sub(submitted).Nanoseconds())
 		if err != nil {
-			p.jobsFailed.Add(1)
+			m.failed.Inc()
 		} else {
-			p.jobsDone.Add(1)
+			m.done.Inc()
 		}
-		if !hit && err == nil && res != nil && res.Report != nil && res.Report.Compile != nil {
-			p.recordCompile(res.Report.Compile)
-			if n := res.Report.Compile.PrefixHits; n > 0 {
-				p.prefixHits.Add(uint64(n))
+		// A full-artefact hit skipped the whole pipeline; per-pass
+		// metrics aggregate only over jobs that actually compiled, and
+		// recordCompile counts prefix-level skips from the report.
+		if hit {
+			m.fullSkips.Inc()
+		}
+		if err == nil && res != nil && res.Report != nil {
+			if !hit {
+				m.recordCompile(res.Report.Compile)
+			}
+			// Execution always ran, cache hit or not.
+			if ns := res.Report.ExecNs; ns > 0 {
+				m.execSecs.ObserveSeconds(ns)
 			}
 		}
-		job.finish(res, hit, err)
-		s.retire(job)
+	}
+	retireStart := time.Now()
+	s.retire(job)
+	if s.met != nil {
+		// Retention bookkeeping runs after the job is already observable
+		// as finished, so it is timed as a metric rather than a trace
+		// span — the root span's children must sum to the job latency.
+		s.met.retireSecs.ObserveSeconds(time.Since(retireStart).Nanoseconds())
+	}
+	if err != nil {
+		s.log.Info("job failed",
+			"trace_id", job.TraceID(), "job", job.ID, "backend", p.b.Name(),
+			"error", err.Error(), "elapsed_ms", float64(finished.Sub(submitted).Nanoseconds())/1e6)
+	} else {
+		s.log.Info("job done",
+			"trace_id", job.TraceID(), "job", job.ID, "backend", p.b.Name(),
+			"cache_hit", hit, "elapsed_ms", float64(finished.Sub(submitted).Nanoseconds())/1e6)
 	}
 }
 
@@ -415,6 +441,17 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		seed = s.cfg.Seed + int64(n)*2654435761
 	}
 	job := newJob(fmt.Sprintf("job-%d", n), req, pool, seed)
+	if s.tracer != nil {
+		// The trace ID is the job ID; the root span starts at the job's
+		// submit instant so its duration matches the reported latency.
+		job.trace = s.tracer.StartAt(job.ID, "job", job.submitted)
+		root := job.trace.Root()
+		root.SetAttr("backend", pool.b.Name())
+		if req.Name != "" {
+			root.SetAttr("name", req.Name)
+		}
+		job.queueSpan = root.StartChildAt("queue.wait", job.submitted)
+	}
 	// Enqueue straight into the backend's bounded lane: no shared
 	// dispatcher, so one saturated backend cannot head-of-line block the
 	// others.
@@ -425,7 +462,45 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	}
 	s.jobs[job.ID] = job
 	s.submitted.Add(1)
+	if s.met != nil {
+		s.met.jobsSubmitted.Inc()
+	}
+	s.log.Debug("job submitted",
+		"trace_id", job.TraceID(), "job", job.ID, "backend", pool.b.Name(), "name", req.Name)
 	return job, nil
+}
+
+// ErrUnknownBackend distinguishes lookups of unregistered backends
+// (HTTP 404) from invalid inputs (HTTP 400).
+var ErrUnknownBackend = errors.New("qserv: unknown backend")
+
+// Recalibrate atomically replaces a backend's device calibration: jobs
+// already running finish against the old tables, later jobs compile and
+// execute against the new ones. The re-calibrated device hashes
+// differently, so full-artefact cache entries built against the stale
+// tables are never reused, while platform-generic prefix artefacts stay
+// live (the prefix passes cannot observe calibration). Returns the
+// re-calibrated device.
+func (s *Service) Recalibrate(name string, cal *target.Calibration) (*target.Device, error) {
+	s.mu.Lock()
+	pool, ok := s.byName[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownBackend, name)
+	}
+	rc, can := pool.b.(Recalibrator)
+	if !can {
+		return nil, fmt.Errorf("qserv: backend %q does not support live recalibration", name)
+	}
+	dev, err := rc.Recalibrate(cal)
+	if err != nil {
+		return nil, err
+	}
+	if pool.met != nil {
+		pool.met.calibReloads.Inc()
+	}
+	s.log.Info("calibration reloaded", "backend", name, "device_hash", dev.Hash())
+	return dev, nil
 }
 
 // validateDeviceOverrides checks a request's device target / calibration
@@ -562,6 +637,12 @@ type BackendStats struct {
 	JobsDone   uint64 `json:"jobs_done"`
 	JobsFailed uint64 `json:"jobs_failed"`
 	CacheHits  uint64 `json:"cache_hits"`
+	// CompileCacheSkips counts jobs whose whole compile pipeline was
+	// skipped by a full-artefact cache hit (numerically CacheHits, spelt
+	// out so the pass-latency hit-rate math is auditable: per-pass Runs
+	// lag JobsDone by exactly this many jobs). Mirrored to Prometheus as
+	// qserv_compile_cache_skips_total{level="full"}.
+	CompileCacheSkips uint64 `json:"compile_cache_skips"`
 	// PrefixHits counts kernels this backend's compiles served from the
 	// prefix-artefact cache — compiles that re-ran only the variant
 	// suffix (map/schedule/assemble) against cached decompose/optimize
@@ -626,22 +707,26 @@ func (s *Service) Stats() Stats {
 		st.PrefixHitRate = st.PrefixCache.HitRate()
 	}
 	for _, p := range pools {
-		done, failed := p.jobsDone.Load(), p.jobsFailed.Load()
-		st.JobsDone += done
-		st.JobsFailed += failed
 		bs := BackendStats{
-			Name:          p.b.Name(),
-			Workers:       p.workers,
-			QueueDepth:    len(p.ch),
-			JobsDone:      done,
-			JobsFailed:    failed,
-			CacheHits:     p.cacheHits.Load(),
-			PrefixHits:    p.prefixHits.Load(),
-			BusyMs:        float64(p.busyNs.Load()) / 1e6,
-			CompilePasses: p.passStats(),
+			Name:       p.b.Name(),
+			Workers:    p.workers,
+			QueueDepth: len(p.ch),
 		}
+		// /stats is a thin view over the registry-owned instruments the
+		// workers record into; with metrics disabled the counters stay 0.
+		if m := p.met; m != nil {
+			bs.JobsDone = counterUint(m.done)
+			bs.JobsFailed = counterUint(m.failed)
+			bs.CacheHits = counterUint(m.fullSkips)
+			bs.CompileCacheSkips = bs.CacheHits
+			bs.PrefixHits = counterUint(m.prefixSkips)
+			bs.BusyMs = m.busy.Value() * 1e3
+			bs.CompilePasses = m.passStats()
+		}
+		st.JobsDone += bs.JobsDone
+		st.JobsFailed += bs.JobsFailed
 		if sec := uptime.Seconds(); sec > 0 {
-			bs.JobsPerSec = float64(done) / sec
+			bs.JobsPerSec = float64(bs.JobsDone) / sec
 		}
 		st.Backends = append(st.Backends, bs)
 	}

@@ -17,6 +17,13 @@ type Result struct {
 	// GateErrorsInjected counts stochastic Pauli errors inserted by the
 	// noise model across all shots (diagnostic).
 	GateErrorsInjected int
+	// ElapsedNs is the measured wall time of the execution that produced
+	// this result, and Batches the number of parallel shot batches it ran
+	// as (1 for a serial run). Both are observability diagnostics set by
+	// Simulator.Run/RunParallel — excluded from determinism contracts and
+	// never part of result equality (compare Counts).
+	ElapsedNs int64
+	Batches   int
 }
 
 // Probability returns the empirical probability of basis state idx.

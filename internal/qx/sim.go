@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/quantum"
@@ -111,7 +112,13 @@ func (s *Simulator) Run(c *circuit.Circuit, shots int) (*Result, error) {
 	if shots <= 0 {
 		return nil, fmt.Errorf("qx: shots must be positive, got %d", shots)
 	}
-	return s.engine().Run(c, shots, s.env())
+	start := time.Now()
+	res, err := s.engine().Run(c, shots, s.env())
+	if res != nil {
+		res.ElapsedNs = time.Since(start).Nanoseconds()
+		res.Batches = 1
+	}
+	return res, err
 }
 
 // RunParallel executes the circuit's shots split across worker
@@ -136,8 +143,14 @@ func (s *Simulator) RunParallel(c *circuit.Circuit, shots, workers int) (*Result
 		return nil, fmt.Errorf("qx: shots must be positive, got %d", shots)
 	}
 	workers = shotWorkers(workers, shots)
+	start := time.Now()
 	if workers <= 1 {
-		return s.engine().Run(c, shots, s.env())
+		res, err := s.engine().Run(c, shots, s.env())
+		if res != nil {
+			res.ElapsedNs = time.Since(start).Nanoseconds()
+			res.Batches = 1
+		}
+		return res, err
 	}
 	batchSeed := s.rng.Int63()
 	results := make([]*Result, workers)
@@ -174,6 +187,8 @@ func (s *Simulator) RunParallel(c *circuit.Circuit, shots, workers int) (*Result
 		}
 		merged.GateErrorsInjected += results[w].GateErrorsInjected
 	}
+	merged.ElapsedNs = time.Since(start).Nanoseconds()
+	merged.Batches = workers
 	return merged, nil
 }
 
