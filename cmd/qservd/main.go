@@ -10,6 +10,7 @@
 //	qservd [-addr :8080] [-qubits 10] [-workers 2] [-queue 256] [-cache 512]
 //	       [-prefix-cache 2048] [-compile-workers N] [-shots 1024] [-seed 1]
 //	       [-engine optimized] [-passes spec]
+//	       [-session-ttl 15m] [-max-sessions 256]
 //	       [-target device.json] [-calibration cal.json]
 //	       [-metrics] [-trace-ring 1024] [-pprof]
 //	       [-log-format text|json] [-log-level info]
@@ -27,7 +28,26 @@
 //	GET  /jobs/{id}/trace
 //	                    the job's span tree: queue wait, compile (cache
 //	                    level, per-kernel prefix, per-pass suffix),
-//	                    execution with engine shot batches
+//	                    execution with engine shot batches; session bind
+//	                    jobs record a "bind" span instead of "compile"
+//	POST /sessions      {"cqasm": "... rz q[0], 2*$gamma ...",
+//	                     "backend": "perfect", "shots": 1024}
+//	                    open a variational session: the parameterised
+//	                    program compiles once (symbolic angles survive
+//	                    the full pipeline) and the artefact stays pinned;
+//	                    201 returns the session with its sorted symbols
+//	GET  /sessions      open sessions (id, symbols, bind count, expiry)
+//	GET  /sessions/{id} one session's view
+//	POST /sessions/{id}/bind
+//	                    {"values": {"gamma": 0.7, "beta": 0.4}}
+//	                    stream one parameter point: an O(#symbols) patch
+//	                    of the pinned artefact submitted as a cheap
+//	                    sub-job (202 + X-Trace-Id, same job API as
+//	                    /submit); values must match the session's
+//	                    symbols exactly
+//	DELETE /sessions/{id}
+//	                    close a session (sessions also expire after the
+//	                    idle TTL and are LRU-evicted past the cap)
 //	PUT  /backends/{name}/calibration
 //	                    live re-calibration: atomically replace the
 //	                    backend device's calibration table (the new
@@ -73,6 +93,18 @@
 // via one semaphore so compile parallelism never multiplies with the
 // worker pools. GET /stats reports both cache levels and per-backend
 // prefix_hits.
+//
+// Parametric compilation & sessions: cQASM angles may be linear
+// expressions over $symbols (`rz q[0], 2*$gamma`); such a program
+// submitted to POST /sessions compiles once with the symbols preserved
+// through decompose, optimise, map, schedule and eQASM assembly, and
+// every POST /sessions/{id}/bind evaluates the artefact's bind table —
+// an O(#symbols) patch, no recompilation — before seeded execution.
+// All bindings of one ansatz share a single entry in both compile-cache
+// levels, because kernel hashes fold expressions in symbolically.
+// Session activity surfaces in GET /stats ("sessions") and /metrics
+// (qserv_sessions_active, qserv_sessions_opened_total,
+// qserv_binds_total, qserv_bind_seconds).
 //
 // -target adds the device in the given JSON file as an additional gate
 // backend (named after the device); -calibration overlays a calibration
@@ -126,6 +158,10 @@ func main() {
 		"record and serve Prometheus metrics at /metrics")
 	traceRing := flag.Int("trace-ring", 1024,
 		"job traces retained for GET /jobs/{id}/trace (negative disables tracing)")
+	sessionTTL := flag.Duration("session-ttl", 0,
+		"idle expiry of variational sessions (0 = 15m default; negative disables expiry)")
+	maxSessions := flag.Int("max-sessions", 0,
+		"open-session cap, LRU-evicted beyond it (0 = 256 default; negative unbounded)")
 	pprofOn := flag.Bool("pprof", false,
 		"serve net/http/pprof runtime profiles under /debug/pprof/")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
@@ -157,6 +193,8 @@ func main() {
 		Seed:            *seed,
 		Engine:          *engine,
 		Passes:          *passes,
+		SessionTTL:      *sessionTTL,
+		MaxSessions:     *maxSessions,
 		TraceRing:       *traceRing,
 		DisableMetrics:  !*metricsOn,
 		Logger:          logger,

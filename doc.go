@@ -73,8 +73,9 @@
 // a recompile that only changes mapping options, scheduling policy or
 // calibration re-runs just the suffix — the ≥2x cached-recompile win
 // BenchmarkPrefixCachedRecompile measures, locked in by the CI
-// benchmark-regression gate (cmd/benchgate against the committed
-// BENCH_5.json baseline).
+// benchmark-regression gate (cmd/benchgate against the BENCH_5 baseline
+// the workflow promotes between runs as an artifact; machine-local
+// baselines from `make bench-baseline` are gitignored).
 //
 // The execution layer itself is pluggable: internal/qx defines an Engine
 // interface — execute a compiled circuit into sampled counts or a final
@@ -120,6 +121,28 @@
 // trace_id, and cmd/qservd exposes net/http/pprof behind -pprof. A CI
 // benchmark (BenchmarkObsOverhead) holds the instrumentation overhead
 // under 5% through the cmd/benchgate ceiling gate.
+//
+// Compilation is parametric end to end. Circuits may carry symbolic
+// angle expressions (circuit.Sym / circuit.ParamExpr — normalised
+// linear forms over named parameters) that survive every compiler pass
+// — decomposition scales them, the peephole optimiser folds them,
+// mapping, scheduling and eQASM assembly carry them through — into the
+// compiled artefact, which records a bind table of every symbolic slot
+// in the final circuit and the assembled bundles. Binding a parameter
+// point (openql.Compiled.BindArtefact, or circuit.Circuit.Bind before
+// compilation) is an O(#slots) patch that shares the schedule, mapping
+// result and compile report with the symbolic artefact — no pass
+// re-runs — and kernel content hashes treat expressions symbolically,
+// so every binding of one ansatz shares a single entry in both
+// compile-cache levels. internal/qserv exposes this as variational
+// sessions: POST /sessions compiles the parameterised program once and
+// pins the artefact (TTL-expired and LRU-bounded), POST
+// /sessions/{id}/bind streams parameter points as cheap sub-jobs whose
+// traces carry a "bind" span where ordinary jobs record "compile".
+// examples/hybrid_qaoa and examples/tsp drive optimiser loops through
+// the session API, and BenchmarkParamBindVsRecompile holds the bind
+// path at ≥10x over full recompilation through the CI
+// bind_vs_compile_pct ceiling.
 //
 // The benchmark harness in bench_test.go regenerates every figure and
 // quantitative claim of the paper; see DESIGN.md for the experiment index

@@ -5,6 +5,7 @@ package circuit
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/quantum"
@@ -17,6 +18,12 @@ type Gate struct {
 	Name   string    // registry name, lower case (e.g. "h", "cnot", "rz")
 	Qubits []int     // operand qubits; for controlled gates controls first
 	Params []float64 // rotation angles etc.
+	// Exprs, when non-nil, runs parallel to Params: a non-nil entry marks
+	// that parameter slot as symbolic — its value is the expression over
+	// named symbols, and the Params entry is a placeholder (0) that must
+	// be bound (Gate.Bind / Circuit.Bind / openql.Compiled.BindArtefact)
+	// before the gate can be executed. Nil entries are literal slots.
+	Exprs []*ParamExpr
 	// HasCond marks a classically-controlled gate (cQASM "c-" prefix):
 	// the gate applies only when the classical bit CondBit — the latest
 	// measurement of qubit CondBit — is 1. This is the feed-forward
@@ -74,6 +81,9 @@ func (g Gate) Validate() error {
 	if len(g.Params) != spec.NumParams {
 		return fmt.Errorf("circuit: gate %s takes %d params, got %d", g.Name, spec.NumParams, len(g.Params))
 	}
+	if g.Exprs != nil && len(g.Exprs) != len(g.Params) {
+		return fmt.Errorf("circuit: gate %s has %d params but %d param exprs", g.Name, len(g.Params), len(g.Exprs))
+	}
 	seen := map[int]bool{}
 	for _, q := range g.Qubits {
 		if q < 0 {
@@ -100,6 +110,9 @@ func (g Gate) Matrix() (quantum.Matrix, error) {
 	if !g.IsUnitary() {
 		return quantum.Matrix{}, fmt.Errorf("circuit: %s has no matrix", g.Name)
 	}
+	if g.IsParametric() {
+		return quantum.Matrix{}, fmt.Errorf("circuit: %s has unbound symbolic parameters %v", g.Name, g.SymbolNames())
+	}
 	spec, ok := Lookup(g.Name)
 	if !ok {
 		return quantum.Matrix{}, fmt.Errorf("circuit: unknown gate %q", g.Name)
@@ -112,6 +125,9 @@ func (g Gate) Matrix() (quantum.Matrix, error) {
 func (g Gate) Inverse() (Gate, error) {
 	if !g.IsUnitary() {
 		return Gate{}, fmt.Errorf("circuit: %s has no inverse", g.Name)
+	}
+	if g.IsParametric() {
+		return Gate{}, fmt.Errorf("circuit: %s has unbound symbolic parameters; bind before inverting", g.Name)
 	}
 	spec, ok := Lookup(g.Name)
 	if !ok {
@@ -126,7 +142,39 @@ func (g Gate) Clone() Gate {
 	c := Gate{Name: g.Name, HasCond: g.HasCond, CondBit: g.CondBit}
 	c.Qubits = append([]int(nil), g.Qubits...)
 	c.Params = append([]float64(nil), g.Params...)
+	if g.Exprs != nil {
+		c.Exprs = make([]*ParamExpr, len(g.Exprs))
+		for i, e := range g.Exprs {
+			c.Exprs[i] = e.Clone()
+		}
+	}
 	return c
+}
+
+// SymbolNames returns the sorted symbols referenced by the gate's
+// parameter expressions.
+func (g Gate) SymbolNames() []string {
+	seen := map[string]bool{}
+	for _, e := range g.Exprs {
+		for _, s := range e.Symbols() {
+			seen[s] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// paramString renders parameter slot i: the expression for symbolic slots,
+// the literal otherwise.
+func (g Gate) paramString(i int) string {
+	if g.Symbolic(i) {
+		return g.Exprs[i].String()
+	}
+	return fmt.Sprintf("%g", g.Params[i])
 }
 
 // String renders the gate in cQASM-like syntax, e.g. "rz q[2], 0.5" or
@@ -138,8 +186,8 @@ func (g Gate) String() string {
 		for _, q := range g.Qubits {
 			fmt.Fprintf(&b, ", q[%d]", q)
 		}
-		for _, p := range g.Params {
-			fmt.Fprintf(&b, ", %g", p)
+		for i := range g.Params {
+			fmt.Fprintf(&b, ", %s", g.paramString(i))
 		}
 		return b.String()
 	}
@@ -152,13 +200,13 @@ func (g Gate) String() string {
 		}
 		fmt.Fprintf(&b, "q[%d]", q)
 	}
-	for i, p := range g.Params {
+	for i := range g.Params {
 		if i == 0 && len(g.Qubits) == 0 {
 			b.WriteString(" ")
 		} else {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%g", p)
+		b.WriteString(g.paramString(i))
 	}
 	return b.String()
 }

@@ -61,6 +61,19 @@ func expand(g circuit.Gate) ([]circuit.Gate, error) {
 		}
 		return ng
 	}
+	// mkE builds a primitive whose single parameter is slot i of g scaled
+	// by k — symbolic slots stay symbolic (the expression is scaled), so
+	// decomposition preserves the bind relation exactly.
+	mkE := func(name string, qubits []int, i int, k float64) circuit.Gate {
+		if !g.Symbolic(i) {
+			return mk(name, qubits, g.Params[i]*k)
+		}
+		ng, err := circuit.NewGateExpr(name, qubits, g.Exprs[i].Scale(k))
+		if err != nil {
+			panic(err)
+		}
+		return ng
+	}
 	switch g.Name {
 	case "x":
 		return []circuit.Gate{mk("x90", q), mk("x90", q)}, nil
@@ -82,19 +95,19 @@ func expand(g circuit.Gate) ([]circuit.Gate, error) {
 	case "rx":
 		// RX(θ) = Y90 · RZ(θ) · MY90 (apply my90 first): Y90 maps the z
 		// axis onto the x axis.
-		return []circuit.Gate{mk("my90", q), mk("rz", q, g.Params[0]), mk("y90", q)}, nil
+		return []circuit.Gate{mk("my90", q), mkE("rz", q, 0, 1), mk("y90", q)}, nil
 	case "ry":
 		// RY(θ) = MX90 · RZ(θ) · X90 (apply x90 first).
-		return []circuit.Gate{mk("x90", q), mk("rz", q, g.Params[0]), mk("mx90", q)}, nil
+		return []circuit.Gate{mk("x90", q), mkE("rz", q, 0, 1), mk("mx90", q)}, nil
 	case "phase":
 		// Phase(θ) = RZ(θ) up to global phase.
-		return []circuit.Gate{mk("rz", q, g.Params[0])}, nil
+		return []circuit.Gate{mkE("rz", q, 0, 1)}, nil
 	case "u3":
 		// U3(θ,φ,λ) = RZ(φ)·RY(θ)·RZ(λ) up to global phase.
 		return []circuit.Gate{
-			mk("rz", q, g.Params[2]),
-			mk("ry", q, g.Params[0]),
-			mk("rz", q, g.Params[1]),
+			mkE("rz", q, 2, 1),
+			mkE("ry", q, 0, 1),
+			mkE("rz", q, 1, 1),
 		}, nil
 	case "cnot":
 		// CNOT(c,t) = H_t · CZ · H_t.
@@ -138,21 +151,19 @@ func expand(g circuit.Gate) ([]circuit.Gate, error) {
 		// CPhase(θ) = RZ_a(θ/2)·RZ_b(θ/2)·CNOT·RZ_b(−θ/2)·CNOT up to
 		// global phase.
 		a, b := q[0], q[1]
-		th := g.Params[0]
 		return []circuit.Gate{
-			mk("rz", []int{a}, th/2),
-			mk("rz", []int{b}, th/2),
+			mkE("rz", []int{a}, 0, 0.5),
+			mkE("rz", []int{b}, 0, 0.5),
 			mk("cnot", []int{a, b}),
-			mk("rz", []int{b}, -th/2),
+			mkE("rz", []int{b}, 0, -0.5),
 			mk("cnot", []int{a, b}),
 		}, nil
 	case "crz":
 		a, b := q[0], q[1]
-		th := g.Params[0]
 		return []circuit.Gate{
-			mk("rz", []int{b}, th/2),
+			mkE("rz", []int{b}, 0, 0.5),
 			mk("cnot", []int{a, b}),
-			mk("rz", []int{b}, -th/2),
+			mkE("rz", []int{b}, 0, -0.5),
 			mk("cnot", []int{a, b}),
 		}, nil
 	case "toffoli":

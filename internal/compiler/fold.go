@@ -47,7 +47,13 @@ func FoldRotations(c *circuit.Circuit) *circuit.Circuit {
 				break
 			}
 			if o.Name == "rz" && o.Qubits[0] == q {
-				gates[i].Params[0] += o.Params[0]
+				if gates[i].Symbolic(0) || o.Symbolic(0) {
+					// Folding symbolic with literal z-rotations keeps a
+					// symbolic sum; literals land in the constant term.
+					setSlot(&gates[i], 0, slotExpr(gates[i], 0).Add(slotExpr(o, 0)))
+				} else {
+					gates[i].Params[0] += o.Params[0]
+				}
 				removed[j] = true
 				continue
 			}
@@ -61,7 +67,7 @@ func FoldRotations(c *circuit.Circuit) *circuit.Circuit {
 		if removed[i] {
 			continue
 		}
-		if g.Name == "rz" && !g.HasCond && math.Abs(normalizeAngle(g.Params[0])) < 1e-12 {
+		if g.Name == "rz" && !g.HasCond && !g.Symbolic(0) && math.Abs(normalizeAngle(g.Params[0])) < 1e-12 {
 			continue
 		}
 		out.AddGate(g)

@@ -125,7 +125,14 @@ func mergeRotations(c *circuit.Circuit) *circuit.Circuit {
 				if other.Name != g.Name || !sameOperands(g, other) || other.HasCond {
 					break
 				}
-				g.Params[0] += other.Params[0]
+				if g.Symbolic(0) || other.Symbolic(0) {
+					// Merging a symbolic slot keeps the sum symbolic (a
+					// literal contributes to the constant term), so the
+					// bind table stays exact across the merge.
+					setSlot(&g, 0, slotExpr(g, 0).Add(slotExpr(other, 0)))
+				} else {
+					g.Params[0] += other.Params[0]
+				}
 				removed[j] = true
 				pos = j
 			}
@@ -142,7 +149,9 @@ func dropIdentities(c *circuit.Circuit) *circuit.Circuit {
 		if g.Name == "i" {
 			continue
 		}
-		if rotationGates[g.Name] && math.Abs(normalizeAngle(g.Params[0])) < 1e-12 {
+		// A symbolic rotation's angle is unknown until bind time, so it is
+		// never a removable identity.
+		if rotationGates[g.Name] && !g.Symbolic(0) && math.Abs(normalizeAngle(g.Params[0])) < 1e-12 {
 			continue
 		}
 		out.AddGate(g)

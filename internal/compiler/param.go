@@ -1,0 +1,37 @@
+package compiler
+
+import "repro/internal/circuit"
+
+// slotExpr returns the value of parameter slot i of g as an expression:
+// the attached symbolic expression, or a constant wrapping the literal.
+func slotExpr(g circuit.Gate, i int) *circuit.ParamExpr {
+	if g.Symbolic(i) {
+		return g.Exprs[i]
+	}
+	return circuit.Lit(g.Params[i])
+}
+
+// setSlot writes expression e into parameter slot i of g: constant
+// expressions collapse back to a plain literal (dropping the Exprs slice
+// when no symbolic slot remains), symbolic ones install the expression
+// with a 0 placeholder literal.
+func setSlot(g *circuit.Gate, i int, e *circuit.ParamExpr) {
+	if e.IsConst() {
+		g.Params[i] = 0
+		if e != nil {
+			g.Params[i] = e.Const
+		}
+		if g.Exprs != nil {
+			g.Exprs[i] = nil
+			if !g.IsParametric() {
+				g.Exprs = nil
+			}
+		}
+		return
+	}
+	g.Params[i] = 0
+	if g.Exprs == nil {
+		g.Exprs = make([]*circuit.ParamExpr, len(g.Params))
+	}
+	g.Exprs[i] = e
+}

@@ -307,6 +307,9 @@ func (s *Stack) Compile(p *openql.Program) (*openql.Compiled, error) {
 // order. It is safe for concurrent use: the Stack is only read, and all
 // mutable execution state is created per call.
 func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int, seed int64) (*Report, error) {
+	if compiled.IsParametric() {
+		return nil, fmt.Errorf("core: program has unbound parameters %v; bind the artefact (BindArtefact) before execution", compiled.Symbols())
+	}
 	engine, err := qx.EngineByName(s.Engine)
 	if err != nil {
 		return nil, err

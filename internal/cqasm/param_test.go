@@ -1,0 +1,92 @@
+package cqasm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestParseSymbolicParams(t *testing.T) {
+	src := `version 1.0
+qubits 2
+
+.ansatz
+    h q[0]
+    rz q[0], 2*$gamma
+    rx q[1], $beta
+    rz q[1], -$gamma
+    cr q[0], q[1], $gamma/2
+    rz q[0], 0.25
+`
+	c, err := ParseToCircuit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsParametric() {
+		t.Fatal("parsed circuit should be parametric")
+	}
+	if got := c.Symbols(); len(got) != 2 || got[0] != "beta" || got[1] != "gamma" {
+		t.Fatalf("Symbols = %v", got)
+	}
+	wantExprs := map[int]string{1: "2*$gamma", 2: "$beta", 3: "-$gamma", 4: "0.5*$gamma"}
+	for i, want := range wantExprs {
+		g := c.Gates[i]
+		if !g.Symbolic(0) {
+			t.Fatalf("gate %d (%s) should be symbolic", i, g.Name)
+		}
+		if got := g.Exprs[0].String(); got != want {
+			t.Fatalf("gate %d expr = %q, want %q", i, got, want)
+		}
+	}
+	if c.Gates[5].IsParametric() || c.Gates[5].Params[0] != 0.25 {
+		t.Fatalf("literal gate parsed wrong: %+v", c.Gates[5])
+	}
+
+	// Print → parse round-trip preserves the expressions.
+	printed := PrintCircuit(c)
+	c2, err := ParseToCircuit(printed)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, printed)
+	}
+	for i := range c.Gates {
+		if c.Gates[i].String() != c2.Gates[i].String() {
+			t.Fatalf("round-trip gate %d: %q vs %q", i, c.Gates[i].String(), c2.Gates[i].String())
+		}
+	}
+
+	// Binding the parsed circuit yields the literal values.
+	b, err := c.Bind(map[string]float64{"gamma": 1.5, "beta": -0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Gates[1].Params[0] != 3.0 || b.Gates[4].Params[0] != 0.75 {
+		t.Fatalf("bound params wrong: %v %v", b.Gates[1].Params[0], b.Gates[4].Params[0])
+	}
+}
+
+func TestParseSymbolicErrors(t *testing.T) {
+	cases := []string{
+		"version 1.0\nqubits 1\n.k\n    rz q[0], $\n",
+		"version 1.0\nqubits 1\n.k\n    rz q[0], $ga mma\n",
+		"version 1.0\nqubits 1\n.k\n    rz q[0], x*$g\n",
+		"version 1.0\nqubits 1\n.k\n    wait $g\n",
+	}
+	for _, src := range cases {
+		if _, err := ParseToCircuit(src); err == nil {
+			t.Fatalf("expected parse error for %q", strings.Split(src, "\n")[3])
+		}
+	}
+}
+
+func TestSymbolic(t *testing.T) {
+	// circuit.Gate renders symbolic slots through the same canonical form
+	// the printer uses.
+	g, err := circuit.NewGateExpr("rz", []int{0}, circuit.Sym("theta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := formatGate(g); got != "rz q[0], $theta" {
+		t.Fatalf("formatGate = %q", got)
+	}
+}

@@ -161,6 +161,8 @@ func parseGateLine(line string) (circuit.Gate, error) {
 
 	var qubits []int
 	var params []float64
+	var exprs []*circuit.ParamExpr
+	symbolic := false
 	var bits []int
 	if len(fields) == 2 {
 		for _, op := range strings.Split(fields[1], ",") {
@@ -186,18 +188,45 @@ func parseGateLine(line string) (circuit.Gate, error) {
 				bits = append(bits, bit)
 				continue
 			}
+			if e, ok, err := parseSymbolRef(op); ok {
+				if err != nil {
+					return circuit.Gate{}, fmt.Errorf("bad operand %q: %v", op, err)
+				}
+				params = append(params, 0)
+				exprs = append(exprs, e)
+				symbolic = true
+				continue
+			}
 			v, err := parseNumber(op)
 			if err != nil {
 				return circuit.Gate{}, fmt.Errorf("bad operand %q: %v", op, err)
 			}
 			params = append(params, v)
+			exprs = append(exprs, nil)
 		}
 	}
 
 	var g circuit.Gate
 	if circuit.IsNonUnitary(name) {
+		if symbolic {
+			return circuit.Gate{}, fmt.Errorf("symbolic parameter on non-unitary %q in %q", name, line)
+		}
 		// Bit operands of a measure are the implicit per-qubit bits.
 		g = circuit.Gate{Name: name, Qubits: qubits, Params: params}
+	} else if symbolic {
+		all := make([]*circuit.ParamExpr, len(params))
+		for i := range params {
+			if exprs[i] != nil {
+				all[i] = exprs[i]
+			} else {
+				all[i] = circuit.Lit(params[i])
+			}
+		}
+		var err error
+		g, err = circuit.NewGateExpr(name, qubits, all...)
+		if err != nil {
+			return circuit.Gate{}, err
+		}
 	} else {
 		var err error
 		g, err = circuit.NewGate(name, qubits, params...)
@@ -231,6 +260,54 @@ func parseQubitRef(op string) (int, bool, error) {
 		return 0, true, fmt.Errorf("bad qubit index in %q", op)
 	}
 	return idx, true, nil
+}
+
+// parseSymbolRef recognises symbolic parameter operands of the forms
+// "$name", "-$name", "k*$name" and "k*$name/m" (k, m numeric, name an
+// identifier) and returns the corresponding linear expression. ok is
+// false when the operand does not reference a symbol at all.
+func parseSymbolRef(op string) (*circuit.ParamExpr, bool, error) {
+	s := strings.TrimSpace(op)
+	if !strings.Contains(s, "$") {
+		return nil, false, nil
+	}
+	coeff := 1.0
+	if strings.HasPrefix(s, "-") {
+		coeff = -1
+		s = strings.TrimSpace(s[1:])
+	} else if strings.HasPrefix(s, "+") {
+		s = strings.TrimSpace(s[1:])
+	}
+	if i := strings.Index(s, "*"); i >= 0 {
+		k, err := strconv.ParseFloat(strings.TrimSpace(s[:i]), 64)
+		if err != nil {
+			return nil, true, fmt.Errorf("bad symbol multiplier")
+		}
+		coeff *= k
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if i := strings.Index(s, "/"); i >= 0 {
+		m, err := strconv.ParseFloat(strings.TrimSpace(s[i+1:]), 64)
+		if err != nil || m == 0 {
+			return nil, true, fmt.Errorf("bad symbol divisor")
+		}
+		coeff /= m
+		s = strings.TrimSpace(s[:i])
+	}
+	if !strings.HasPrefix(s, "$") {
+		return nil, true, fmt.Errorf("malformed symbol reference")
+	}
+	name := s[1:]
+	if name == "" {
+		return nil, true, fmt.Errorf("empty symbol name")
+	}
+	for _, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return nil, true, fmt.Errorf("bad symbol name %q", name)
+		}
+	}
+	return circuit.Sym(name).Scale(coeff), true, nil
 }
 
 // parseNumber accepts float literals and pi expressions of the forms

@@ -57,7 +57,15 @@ func formatGate(g circuit.Gate) string {
 	for _, q := range g.Qubits {
 		parts = append(parts, fmt.Sprintf("q[%d]", q))
 	}
-	for _, p := range g.Params {
+	for i, p := range g.Params {
+		if g.Symbolic(i) {
+			// Canonical expression text ("$theta", "2*$gamma", …).
+			// Single-term expressions round-trip through the parser;
+			// multi-term sums only arise in compiled artefacts, which are
+			// printed for inspection rather than re-parsing.
+			parts = append(parts, g.Exprs[i].String())
+			continue
+		}
 		parts = append(parts, formatFloat(p))
 	}
 	if len(parts) == 0 {

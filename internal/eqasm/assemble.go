@@ -40,7 +40,7 @@ func Assemble(s *compiler.Schedule, p *compiler.Platform) (*Program, error) {
 			if len(p.Gates) > 0 && g.IsUnitary() && !p.Supports(g.Name) {
 				return nil, fmt.Errorf("eqasm: gate %q is not primitive on platform %s; decompose first", g.Name, p.Name)
 			}
-			key := groupKey{name: name, params: paramsKey(g.Params), twoQ: twoQ}
+			key := groupKey{name: name, params: gateParamsKey(g), twoQ: twoQ}
 			if _, seen := groups[key]; !seen {
 				order = append(order, key)
 			}
@@ -67,7 +67,7 @@ func Assemble(s *compiler.Schedule, p *compiler.Platform) (*Program, error) {
 				if fresh {
 					prog.Instrs = append(prog.Instrs, SMIT{Reg: reg, Pairs: pairs})
 				}
-				ops = append(ops, QOp{Name: key.name, TwoQ: true, Reg: reg, Params: gs[0].Params})
+				ops = append(ops, QOp{Name: key.name, TwoQ: true, Reg: reg, Params: gs[0].Params, Exprs: gs[0].Exprs})
 			} else {
 				var qubits []int
 				for _, g := range gs {
@@ -84,7 +84,7 @@ func Assemble(s *compiler.Schedule, p *compiler.Platform) (*Program, error) {
 				if fresh {
 					prog.Instrs = append(prog.Instrs, SMIS{Reg: reg, Qubits: qubits})
 				}
-				ops = append(ops, QOp{Name: key.name, TwoQ: false, Reg: reg, Params: gs[0].Params})
+				ops = append(ops, QOp{Name: key.name, TwoQ: false, Reg: reg, Params: gs[0].Params, Exprs: gs[0].Exprs})
 			}
 		}
 		pre := cycle - prevIssue
@@ -125,10 +125,18 @@ func opcodeFor(g circuit.Gate) (string, bool, error) {
 	return "", false, fmt.Errorf("eqasm: cannot encode %d-qubit gate %q", len(g.Qubits), g.Name)
 }
 
-func paramsKey(params []float64) string {
-	parts := make([]string, len(params))
-	for i, p := range params {
-		parts[i] = fmt.Sprintf("%.17g", p)
+// gateParamsKey keys a gate's parameters for same-cycle merging. Symbolic
+// slots key on the canonical expression text, so two ops merge only when
+// their angles are the same function of the symbols — equal placeholder
+// literals must never collapse distinct expressions into one masked op.
+func gateParamsKey(g circuit.Gate) string {
+	parts := make([]string, len(g.Params))
+	for i, p := range g.Params {
+		if g.Symbolic(i) {
+			parts[i] = "E:" + g.Exprs[i].String()
+		} else {
+			parts[i] = fmt.Sprintf("%.17g", p)
+		}
 	}
 	return strings.Join(parts, ",")
 }

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/circuit"
 )
 
 // Register-file sizes, following the published eQASM design.
@@ -73,6 +75,16 @@ type QOp struct {
 	TwoQ   bool   // true → Reg indexes a T register, else an S register
 	Reg    int
 	Params []float64 // rotation angle for parametric ops
+	// Exprs, when non-nil, runs parallel to Params and marks symbolic
+	// slots (same convention as circuit.Gate.Exprs): the op's angle is
+	// the expression and Params holds a placeholder until the artefact
+	// is bound. Assembly never merges ops with different expressions.
+	Exprs []*circuit.ParamExpr
+}
+
+// Symbolic reports whether parameter slot i is a symbolic expression.
+func (o QOp) Symbolic(i int) bool {
+	return i < len(o.Exprs) && !o.Exprs[i].IsConst()
 }
 
 func (o QOp) String() string {
@@ -81,6 +93,9 @@ func (o QOp) String() string {
 		reg = fmt.Sprintf("t%d", o.Reg)
 	}
 	if len(o.Params) > 0 {
+		if o.Symbolic(0) {
+			return fmt.Sprintf("%s %s, %s", o.Name, reg, o.Exprs[0].String())
+		}
 		return fmt.Sprintf("%s %s, %.17g", o.Name, reg, o.Params[0])
 	}
 	return fmt.Sprintf("%s %s", o.Name, reg)

@@ -62,6 +62,29 @@ func (k *Kernel) Gate(name string, qubits []int, params ...float64) *Kernel {
 	return k
 }
 
+// GateExpr appends a gate whose parameter slots are given as expressions
+// over named symbols (circuit.Sym / circuit.Lit) — the entry point for
+// parametric kernels that compile once and bind per parameter point.
+func (k *Kernel) GateExpr(name string, qubits []int, exprs ...*circuit.ParamExpr) *Kernel {
+	k.c.AddExpr(name, qubits, exprs...)
+	return k
+}
+
+// RXExpr appends an X rotation with a symbolic angle.
+func (k *Kernel) RXExpr(q int, theta *circuit.ParamExpr) *Kernel { k.c.RXExpr(q, theta); return k }
+
+// RYExpr appends a Y rotation with a symbolic angle.
+func (k *Kernel) RYExpr(q int, theta *circuit.ParamExpr) *Kernel { k.c.RYExpr(q, theta); return k }
+
+// RZExpr appends a Z rotation with a symbolic angle.
+func (k *Kernel) RZExpr(q int, theta *circuit.ParamExpr) *Kernel { k.c.RZExpr(q, theta); return k }
+
+// CPhaseExpr appends a controlled phase with a symbolic angle.
+func (k *Kernel) CPhaseExpr(a, b int, theta *circuit.ParamExpr) *Kernel {
+	k.c.CPhaseExpr(a, b, theta)
+	return k
+}
+
 // Convenience single-gate builders mirroring the OpenQL API.
 
 // H appends a Hadamard.
@@ -154,8 +177,22 @@ func (k *Kernel) ContentHash(programQubits int) string {
 				word(uint64(q))
 			}
 			word(uint64(len(g.Params)))
-			for _, p := range g.Params {
-				word(math.Float64bits(p))
+			for i, p := range g.Params {
+				if g.Symbolic(i) {
+					// Symbolic slots hash the expression's canonical form,
+					// not the placeholder literal — every binding of one
+					// ansatz therefore shares a single hash, which is what
+					// lets all bindings share one entry in both cache
+					// levels. The all-ones tag word (a NaN bit pattern no
+					// real angle uses) keeps symbolic and literal slots
+					// from ever colliding.
+					word(^uint64(0))
+					for _, w := range g.Exprs[i].HashWords() {
+						word(w)
+					}
+				} else {
+					word(math.Float64bits(p))
+				}
 			}
 			if g.HasCond {
 				word(1)
@@ -300,6 +337,10 @@ type Compiled struct {
 	// Report records the executed pass pipeline with per-pass wall time,
 	// gate count, depth and added SWAPs.
 	Report *compiler.CompileReport
+	// Binds, non-nil for parametric programs, maps symbolic parameters to
+	// the artefact offsets they flow into; BindArtefact consumes it. A
+	// nil table means the artefact is concrete and ready to execute.
+	Binds *BindTable
 }
 
 // compilePrefix runs every kernel through the pipeline's platform-generic
@@ -512,5 +553,6 @@ func (p *Program) Compile(opts CompileOptions) (*Compiled, error) {
 		}
 		out.EQASM = prog
 	}
+	out.Binds = newBindTable(out)
 	return out, nil
 }

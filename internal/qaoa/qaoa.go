@@ -59,6 +59,57 @@ func (p *Problem) BuildCircuit(gammas, betas []float64) (*circuit.Circuit, error
 	return c, nil
 }
 
+// BuildParametricCircuit constructs the depth-p QAOA ansatz once with
+// symbolic angles — $gamma0…$gamma{p-1} on the cost layers, $beta0…
+// $beta{p-1} on the mixers — instead of literal values. The circuit
+// compiles to a single reusable artefact whose bind table the
+// variational loop patches per iteration (openql.Compiled.BindArtefact
+// or a qserv session), so the compiler runs once for the whole
+// optimisation instead of once per energy evaluation.
+func (p *Problem) BuildParametricCircuit(layers int) (*circuit.Circuit, error) {
+	if layers <= 0 {
+		return nil, fmt.Errorf("qaoa: layers must be positive, got %d", layers)
+	}
+	m := p.Model
+	c := circuit.New("qaoa", m.N)
+	for q := 0; q < m.N; q++ {
+		c.H(q)
+	}
+	for layer := 0; layer < layers; layer++ {
+		gamma := circuit.Sym(fmt.Sprintf("gamma%d", layer))
+		beta := circuit.Sym(fmt.Sprintf("beta%d", layer))
+		for i, h := range m.H {
+			if h != 0 {
+				c.RZExpr(i, gamma.Scale(2*h))
+			}
+		}
+		for _, cp := range m.Couplings() {
+			c.CNOT(cp.I, cp.J)
+			c.RZExpr(cp.J, gamma.Scale(2*cp.Value))
+			c.CNOT(cp.I, cp.J)
+		}
+		for q := 0; q < m.N; q++ {
+			c.RXExpr(q, beta.Scale(2))
+		}
+	}
+	return c, nil
+}
+
+// BindValues maps concrete (γ, β) vectors onto the symbol names
+// BuildParametricCircuit emits, ready for Circuit.Bind, BindArtefact or
+// a session bind.
+func BindValues(gammas, betas []float64) (map[string]float64, error) {
+	if len(gammas) != len(betas) {
+		return nil, fmt.Errorf("qaoa: %d gammas vs %d betas", len(gammas), len(betas))
+	}
+	vals := make(map[string]float64, 2*len(gammas))
+	for l := range gammas {
+		vals[fmt.Sprintf("gamma%d", l)] = gammas[l]
+		vals[fmt.Sprintf("beta%d", l)] = betas[l]
+	}
+	return vals, nil
+}
+
 // Energy returns the exact expectation <ψ(γ,β)|H_C|ψ(γ,β)> by full
 // state-vector simulation (the perfect-qubit development mode).
 func (p *Problem) Energy(sim *qx.Simulator, gammas, betas []float64) (float64, error) {

@@ -144,3 +144,52 @@ func TestQAOASolveWithSPSA(t *testing.T) {
 		t.Errorf("SPSA best energy %v, want -1", res.BestEnergy)
 	}
 }
+
+func TestParametricCircuitBindMatchesLiteral(t *testing.T) {
+	m := qubo.NewIsing(3)
+	m.SetJ(0, 1, 1)
+	m.SetJ(1, 2, -0.5)
+	m.H[0] = 0.25
+	p := &Problem{Model: m}
+
+	sym, err := p.BuildParametricCircuit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sym.IsParametric() {
+		t.Fatal("ansatz should be parametric")
+	}
+	gammas, betas := []float64{0.7, -0.2}, []float64{0.4, 1.1}
+	vals, err := BindValues(gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := sym.Bind(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, err := p.BuildCircuit(gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bound.Gates) != len(lit.Gates) {
+		t.Fatalf("gate counts differ: %d vs %d", len(bound.Gates), len(lit.Gates))
+	}
+	for i := range bound.Gates {
+		a, b := bound.Gates[i], lit.Gates[i]
+		if a.Name != b.Name || len(a.Params) != len(b.Params) {
+			t.Fatalf("gate %d differs: %v vs %v", i, a, b)
+		}
+		for k := range a.Params {
+			if math.Abs(a.Params[k]-b.Params[k]) > 1e-12 {
+				t.Fatalf("gate %d param %d: %v vs %v", i, k, a.Params[k], b.Params[k])
+			}
+		}
+	}
+	if _, err := BindValues([]float64{1}, nil); err == nil {
+		t.Error("mismatched bind vectors accepted")
+	}
+	if _, err := p.BuildParametricCircuit(0); err == nil {
+		t.Error("zero layers accepted")
+	}
+}

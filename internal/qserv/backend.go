@@ -67,6 +67,17 @@ type Recalibrator interface {
 	Recalibrate(cal *target.Calibration) (*target.Device, error)
 }
 
+// SessionBackend is implemented by backends that can pin a compiled —
+// possibly parameterised — artefact for the variational session API
+// (POST /sessions): the gate backends. CompileForSession compiles the
+// request's program eagerly through the shared caches; the session then
+// streams parameter bindings against the pinned artefact without ever
+// re-entering the compiler.
+type SessionBackend interface {
+	Backend
+	CompileForSession(r *Request, env *CompileEnv) (*core.Stack, *openql.Program, *openql.Compiled, bool, error)
+}
+
 // StackBackend runs gate jobs through a full core.Stack, caching compiled
 // circuits across jobs. The stack is held behind an atomic pointer so
 // live recalibration can swap it without stalling concurrent workers.
@@ -118,24 +129,12 @@ func (b *StackBackend) Recalibrate(cal *target.Calibration) (*target.Device, err
 // Accepts reports whether the request is a gate job.
 func (b *StackBackend) Accepts(r *Request) bool { return r.CQASM != "" || r.Program != nil }
 
-// Run compiles (or cache-fetches) the program and executes it. Per-job
-// engine and pass-spec overrides execute (and cache) under a copy of the
-// stack with those settings, so jobs on one backend can pick their
-// execution engine and compile pipeline independently. An engine override
-// reuses the cached compile (engines never change compilation); a pass
-// override keys its own cache entry through CompileFingerprint. A device
-// target or calibration override rebuilds the stack for the overridden
-// device (core.NewStackForDevice), whose content hash keys distinct
-// full-artefact cache entries — re-calibrating never reuses stale
-// compiles. The prefix level is keyed independently (gate-set hash +
-// prefix spec + kernel text), so those same overrides — and pass
-// overrides that only change the suffix — still reuse the cached
-// platform-generic prefix artefacts and recompile suffix-only.
-func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bool, error) {
-	p, err := b.program(r)
-	if err != nil {
-		return nil, false, err
-	}
+// resolveStack materialises the stack a request compiles and executes
+// on: the backend's current stack with the request's device, calibration,
+// engine and pass overrides applied, plus the service's shared compile
+// resources grafted on. The backend's own stack is never mutated —
+// overrides copy.
+func (b *StackBackend) resolveStack(r *Request, env *CompileEnv) (*core.Stack, error) {
 	stack := b.Stack()
 	if r.Target != nil || r.Calibration != nil {
 		dev := r.Target
@@ -150,7 +149,7 @@ func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bo
 		// (core.Stack.WithDevice).
 		override, err := stack.WithDevice(dev)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
 		stack = override
 	}
@@ -180,18 +179,18 @@ func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bo
 		}
 		stack = &run
 	}
+	return stack, nil
+}
+
+// compileOn compiles the program on the resolved stack through the
+// shared full-artefact cache (a nil cache compiles uncached), attaching
+// a "compile" phase span under span when tracing is live.
+func compileOn(stack *core.Stack, p *openql.Program, cache *CompileCache, span *obs.Span) (*openql.Compiled, bool, error) {
 	var (
 		compiled *openql.Compiled
 		hit      bool
+		err      error
 	)
-	var span *obs.Span
-	if env != nil {
-		span = env.Span
-	}
-	var cache *CompileCache
-	if env != nil {
-		cache = env.Cache
-	}
 	cspan := span.StartChild("compile")
 	compileStart := time.Now()
 	if cache == nil {
@@ -200,6 +199,9 @@ func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bo
 	} else {
 		// Keyed on the compile fingerprint only: an engine override
 		// changes execution, not compilation, so it reuses the entry.
+		// Symbolic programs hash their expressions, not any bound values,
+		// so every binding of one parameterised program keys this same
+		// entry.
 		key := cacheKey(stack.CompileFingerprint(), canonicalText(p))
 		compiled, hit, err = cache.GetOrCompile(key, func() (*openql.Compiled, error) {
 			return stack.Compile(p)
@@ -221,15 +223,22 @@ func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bo
 		synthesizeCompileSpans(cspan, compileStart, compiled.Report)
 	}
 	cspan.End()
+	return compiled, hit, nil
+}
+
+// executeCompiled runs a concrete artefact on the stack under an
+// "execute" phase span, decorating it with shot count and the engine's
+// measured wall time.
+func executeCompiled(stack *core.Stack, compiled *openql.Compiled, numQubits, shots int, seed int64, span *obs.Span) (*core.Report, error) {
 	espan := span.StartChild("execute")
-	rep, err := stack.RunCompiled(compiled, p.NumQubits, r.Shots, seed)
+	rep, err := stack.RunCompiled(compiled, numQubits, shots, seed)
 	if err != nil {
 		espan.SetAttr("error", err.Error())
 		espan.End()
-		return nil, hit, err
+		return nil, err
 	}
 	if espan != nil {
-		espan.SetAttr("shots", strconv.Itoa(r.Shots))
+		espan.SetAttr("shots", strconv.Itoa(shots))
 		if rep.ExecNs > 0 {
 			// The engine's measured wall time, anchored so the span ends
 			// where the execute phase does.
@@ -241,7 +250,74 @@ func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bo
 		}
 	}
 	espan.End()
+	return rep, nil
+}
+
+// Run compiles (or cache-fetches) the program and executes it. Per-job
+// engine and pass-spec overrides execute (and cache) under a copy of the
+// stack with those settings, so jobs on one backend can pick their
+// execution engine and compile pipeline independently. An engine override
+// reuses the cached compile (engines never change compilation); a pass
+// override keys its own cache entry through CompileFingerprint. A device
+// target or calibration override rebuilds the stack for the overridden
+// device (core.NewStackForDevice), whose content hash keys distinct
+// full-artefact cache entries — re-calibrating never reuses stale
+// compiles. The prefix level is keyed independently (gate-set hash +
+// prefix spec + kernel text), so those same overrides — and pass
+// overrides that only change the suffix — still reuse the cached
+// platform-generic prefix artefacts and recompile suffix-only.
+func (b *StackBackend) Run(r *Request, seed int64, env *CompileEnv) (*Result, bool, error) {
+	p, err := b.program(r)
+	if err != nil {
+		return nil, false, err
+	}
+	stack, err := b.resolveStack(r, env)
+	if err != nil {
+		return nil, false, err
+	}
+	var span *obs.Span
+	var cache *CompileCache
+	if env != nil {
+		span = env.Span
+		cache = env.Cache
+	}
+	compiled, hit, err := compileOn(stack, p, cache, span)
+	if err != nil {
+		return nil, false, err
+	}
+	rep, err := executeCompiled(stack, compiled, p.NumQubits, r.Shots, seed, span)
+	if err != nil {
+		return nil, hit, err
+	}
 	return &Result{Report: rep}, hit, nil
+}
+
+// CompileForSession eagerly compiles the request's gate program for the
+// session API: it resolves the request's stack (device, engine and pass
+// overrides apply to every bind the session later streams) and compiles
+// through the shared caches, preserving any symbolic parameters in the
+// artefact. All bindings of one parameterised program share the single
+// cache entry the session compile populated. Returns the resolved stack
+// the session executes on, the program, the (possibly parametric)
+// artefact and whether the compile was a full-artefact cache hit.
+func (b *StackBackend) CompileForSession(r *Request, env *CompileEnv) (*core.Stack, *openql.Program, *openql.Compiled, bool, error) {
+	p, err := b.program(r)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	stack, err := b.resolveStack(r, env)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	var cache *CompileCache
+	if env != nil {
+		cache = env.Cache
+	}
+	compiled, hit, err := compileOn(stack, p, cache, nil)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	return stack, p, compiled, hit, nil
 }
 
 // synthesizeCompileSpans grafts the compile report's timing records
@@ -419,4 +495,5 @@ var (
 	_ Backend        = (*AccelBackend)(nil)
 	_ DeviceProvider = (*StackBackend)(nil)
 	_ Recalibrator   = (*StackBackend)(nil)
+	_ SessionBackend = (*StackBackend)(nil)
 )

@@ -173,6 +173,47 @@
 // `go test -race`. Parallel shot batches stay deterministic per
 // (seed, core count).
 //
+// # Parametric compilation and variational sessions
+//
+// Hybrid variational algorithms (QAOA, VQE — the paper's Fig 8 loop)
+// resubmit one circuit shape hundreds of times with only rotation
+// angles changing. Sessions make that loop cheap. A program whose
+// angles are symbolic expressions (circuit.Sym, cQASM `rz q[0],
+// 2*$gamma`) compiles with the symbols preserved through every pass;
+// the artefact records a bind table of every symbolic slot in the
+// final circuit and the assembled eQASM bundles, so binding a
+// parameter point (openql.Compiled.BindArtefact) is an O(#slots)
+// patch sharing the schedule, mapping result and compile report — the
+// mapper, scheduler and assembler never re-run.
+//
+// Service.OpenSession (POST /sessions) validates and routes like
+// Submit, eagerly compiles the parameterised program on its gate
+// backend — through the ordinary two-level cache — and pins the
+// compiled artefact in a session. Service.BindSession
+// (POST /sessions/{id}/bind) then streams parameter points: each bind
+// is a cheap sub-job through the same bounded queue and worker pool as
+// any other job (backpressure, retention and job views included), but
+// its run records a "bind" span — symbols attached — where an ordinary
+// job records "compile", and its seeded execution reuses the pinned
+// stack. Bind values must cover the session's symbols exactly; missing
+// and stray names are rejected at submit. Sessions expire after
+// Config.SessionTTL idle time and the store is LRU-bounded by
+// Config.MaxSessions (opening past the bound evicts the
+// least-recently-used session); expiry is swept lazily on access, and
+// DELETE /sessions/{id} closes one explicitly.
+//
+// The cache interaction is what makes sessions one-compile cheap:
+// kernel content hashes fold symbolic expressions in symbolically
+// (coefficients and symbol names, not bound values), so every binding
+// — and every re-opened session — of one ansatz shares a single
+// full-artefact entry and a single per-kernel prefix entry; only a
+// genuinely different circuit shape compiles anew. Session counters
+// surface as qserv_sessions_active, qserv_sessions_opened_total,
+// qserv_binds_total and the qserv_bind_seconds histogram, and
+// GET /stats reports the same under "sessions" (active/opened/expired/
+// evicted/binds). The bind-versus-recompile win is locked into CI by
+// BenchmarkParamBindVsRecompile's bind_vs_compile_pct ceiling (≥10x).
+//
 // # Observability
 //
 // The service is instrumented end to end through internal/obs — a
@@ -213,7 +254,9 @@
 //
 // The embedded HTTP API (Service.Handler) exposes POST /submit,
 // GET /jobs/{id} (with optional ?wait=duration long-polling),
-// GET /jobs/{id}/trace, GET /backends — device descriptions,
+// GET /jobs/{id}/trace, the session lifecycle — POST /sessions,
+// GET /sessions, GET /sessions/{id}, POST /sessions/{id}/bind,
+// DELETE /sessions/{id} — GET /backends — device descriptions,
 // calibration data and content hashes — PUT /backends/{name}/calibration,
 // GET /metrics, and GET /stats — queue depth, per-backend throughput,
 // both cache levels ("cache"/"cache_hit_rate" for full artefacts,

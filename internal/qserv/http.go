@@ -87,7 +87,9 @@ type JobView struct {
 	Status   Status `json:"status"`
 	Backend  string `json:"backend"`
 	CacheHit bool   `json:"cache_hit"`
-	Passes   string `json:"passes,omitempty"`
+	// Session names the variational session a bind sub-job ran against.
+	Session string `json:"session,omitempty"`
+	Passes  string `json:"passes,omitempty"`
 	// Device names the per-job target device override, when one was
 	// submitted; Recalibrated marks a per-job calibration override.
 	Device       string     `json:"device,omitempty"`
@@ -125,6 +127,7 @@ func viewJob(j *Job) JobView {
 		Status:       j.Status(),
 		Backend:      j.Backend(),
 		CacheHit:     j.CacheHit(),
+		Session:      j.Session(),
 		Passes:       j.Req.Passes,
 		Recalibrated: j.Req.Calibration != nil,
 		SubmittedAt:  submitted,
@@ -174,6 +177,18 @@ func viewJob(j *Job) JobView {
 //	POST /submit        submit a job (202, or 503 when the queue is full);
 //	                    the response carries the job's trace ID in the
 //	                    X-Trace-Id header
+//	POST /sessions      open a variational session: eagerly compile a
+//	                    parameterised program (cQASM with $name angles)
+//	                    and pin the artefact for streaming binds (201)
+//	POST /sessions/{id}/bind
+//	                    bind the session's parameters and execute as a
+//	                    sub-job (202, 404 unknown session, 503 full
+//	                    queue); the bind replaces the compile phase with
+//	                    an O(#symbols) artefact patch
+//	GET  /sessions      open sessions
+//	GET  /sessions/{id} one session: symbols, bind count, expiry
+//	DELETE /sessions/{id}
+//	                    close a session (in-flight binds finish)
 //	GET  /jobs/{id}     job status and result; ?wait=2s long-polls
 //	GET  /jobs/{id}/trace
 //	                    the job's span tree: queue wait, compile (cache
@@ -198,6 +213,11 @@ func viewJob(j *Job) JobView {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /submit", s.handleSubmit)
+	mux.HandleFunc("POST /sessions", s.handleOpenSession)
+	mux.HandleFunc("GET /sessions", s.handleSessions)
+	mux.HandleFunc("GET /sessions/{id}", s.handleSession)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
+	mux.HandleFunc("POST /sessions/{id}/bind", s.handleBind)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("PUT /backends/{name}/calibration", s.handleCalibration)

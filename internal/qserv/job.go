@@ -139,6 +139,13 @@ type Job struct {
 	pool *backendPool // resolved at submit time
 	seed int64
 
+	// sess and bindVals mark a session bind sub-job (BindSession): the
+	// worker patches the session's pinned artefact with these values
+	// instead of running the backend's compile path. Both are set before
+	// the job is enqueued and never reassigned.
+	sess     *Session
+	bindVals map[string]float64
+
 	// trace is the job's span tree (nil when tracing is disabled); the
 	// trace ID is the job ID. queueSpan covers submit-to-start and is
 	// ended by the worker when the job leaves the queue. Both are set
@@ -201,6 +208,15 @@ func (j *Job) CacheHit() bool {
 
 // Backend returns the name of the backend the job was routed to.
 func (j *Job) Backend() string { return j.pool.b.Name() }
+
+// Session returns the ID of the session a bind sub-job ran against
+// ("" for ordinary jobs).
+func (j *Job) Session() string {
+	if j.sess == nil {
+		return ""
+	}
+	return j.sess.ID
+}
 
 // Trace returns the job's span tree (nil when tracing is disabled).
 func (j *Job) Trace() *obs.Trace { return j.trace }

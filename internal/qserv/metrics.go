@@ -43,8 +43,16 @@ type serviceMetrics struct {
 	passGatesOut *obs.CounterVec
 	passSwaps    *obs.CounterVec
 	retireSecs   *obs.Histogram
-	httpRequests *obs.CounterVec // method, path, code
-	httpSecs     *obs.HistogramVec
+	// sessionsOpened/bindsTotal/bindSecs instrument the variational
+	// session layer: eager compiles pinned per session, and the bind
+	// fast path that patches the pinned artefact instead of compiling.
+	// qserv_sessions_active is a GaugeFunc registered next to the other
+	// scrape-time mirrors (registerCollectors).
+	sessionsOpened *obs.Counter
+	bindsTotal     *obs.Counter
+	bindSecs       *obs.Histogram
+	httpRequests   *obs.CounterVec // method, path, code
+	httpSecs       *obs.HistogramVec
 }
 
 // newServiceMetrics registers the qserv families. A registry hosts at
@@ -89,6 +97,12 @@ func newServiceMetrics(r *obs.Registry) *serviceMetrics {
 			"Routing SWAPs inserted by mapping passes.", "backend", "pass"),
 		retireSecs: r.NewHistogram("qserv_job_retire_seconds",
 			"Wall time of job retention bookkeeping after finish (outside the job's trace: the job is already observable as finished).", lb),
+		sessionsOpened: r.NewCounter("qserv_sessions_opened_total",
+			"Variational sessions opened (eager compiles pinned for streaming binds)."),
+		bindsTotal: r.NewCounter("qserv_binds_total",
+			"Parameter bindings streamed through sessions — jobs served by the bind fast path instead of the compiler."),
+		bindSecs: r.NewHistogram("qserv_bind_seconds",
+			"Wall time of artefact bind patches (the per-iteration compile-replacement cost).", lb),
 		httpRequests: r.NewCounterVec("qserv_http_requests_total",
 			"HTTP API requests by method, route pattern and status code.",
 			"method", "path", "code"),

@@ -65,6 +65,15 @@ type Config struct {
 	// oldest finished jobs are evicted beyond it (default 4096; negative
 	// retains everything — for tests and short-lived services).
 	RetainJobs int
+	// SessionTTL bounds how long a variational session stays pinned with
+	// no bind activity before it lapses (default 15m; negative disables
+	// expiry). Expiry is lazy: sessions are swept on session-store
+	// access, not by a background timer.
+	SessionTTL time.Duration
+	// MaxSessions bounds concurrently open variational sessions; opening
+	// beyond it evicts the least-recently-used session (default 256;
+	// negative removes the bound).
+	MaxSessions int
 	// Metrics is the registry the service registers its instruments in;
 	// nil creates a private one (exposed via Service.Metrics and the
 	// GET /metrics endpoint). A registry hosts at most one service —
@@ -109,6 +118,12 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
 	return c
 }
 
@@ -142,10 +157,17 @@ type Service struct {
 	byName   map[string]*backendPool
 	started  bool
 	stopped  bool
+	// sessions holds the open variational sessions (guarded by mu, like
+	// the lifecycle counters below it).
+	sessions    map[string]*Session
+	sessOpened  uint64
+	sessExpired uint64
+	sessEvicted uint64
 
 	wg        sync.WaitGroup
 	seq       atomic.Uint64
 	submitted atomic.Uint64
+	binds     atomic.Uint64
 	startedAt time.Time
 }
 
@@ -154,9 +176,10 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:    cfg,
-		jobs:   map[string]*Job{},
-		byName: map[string]*backendPool{},
+		cfg:      cfg,
+		jobs:     map[string]*Job{},
+		byName:   map[string]*backendPool{},
+		sessions: map[string]*Session{},
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = NewCompileCache(cfg.CacheSize)
@@ -211,6 +234,12 @@ func (s *Service) registerCollectors() {
 			return 0
 		}
 		return time.Since(startedAt).Seconds()
+	})
+	s.reg.GaugeFunc("qserv_sessions_active", "Open variational sessions.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.sweepSessionsLocked(time.Now())
+		return float64(len(s.sessions))
 	})
 	s.reg.OnCollect(func() {
 		s.mu.Lock()
@@ -341,7 +370,21 @@ func (s *Service) runJob(p *backendPool, job *Job) {
 		env = &jobEnv
 	}
 	start := time.Now()
-	res, hit, err := p.b.Run(&job.Req, job.seed, env)
+	var (
+		res *Result
+		hit bool
+		err error
+	)
+	if job.sess != nil {
+		// Bind sub-job: patch the session's pinned artefact and execute —
+		// the compile pipeline is skipped entirely, so it counts as a
+		// full-level skip below (the artefact was reused, like a cache
+		// hit) and never re-records the original compile's pass metrics.
+		res, err = s.runBind(job, env)
+		hit = err == nil
+	} else {
+		res, hit, err = p.b.Run(&job.Req, job.seed, env)
+	}
 	busy := time.Since(start)
 	job.finish(res, hit, err)
 	_, _, finished := job.Times()
@@ -365,7 +408,7 @@ func (s *Service) runJob(p *backendPool, job *Job) {
 			m.fullSkips.Inc()
 		}
 		if err == nil && res != nil && res.Report != nil {
-			if !hit {
+			if !hit && job.sess == nil {
 				m.recordCompile(res.Report.Compile)
 			}
 			// Execution always ran, cache hit or not.
@@ -391,6 +434,40 @@ func (s *Service) runJob(p *backendPool, job *Job) {
 			"trace_id", job.TraceID(), "job", job.ID, "backend", p.b.Name(),
 			"cache_hit", hit, "elapsed_ms", float64(finished.Sub(submitted).Nanoseconds())/1e6)
 	}
+}
+
+// runBind executes one bind sub-job against its session's pinned
+// artefact: an O(#symbols) bind-table patch under a "bind" span — the
+// fast path that replaces the compile phase — then ordinary execution.
+// The bound copy shares the pinned artefact's schedule, mapping and
+// report, so per-bind work is proportional to the patched slots, not
+// the circuit.
+func (s *Service) runBind(job *Job, env *CompileEnv) (*Result, error) {
+	sess := job.sess
+	var span *obs.Span
+	if env != nil {
+		span = env.Span
+	}
+	bspan := span.StartChild("bind")
+	bindStart := time.Now()
+	bound, err := sess.compiled.BindArtefact(job.bindVals)
+	bindDur := time.Since(bindStart)
+	if err != nil {
+		bspan.SetAttr("error", err.Error())
+		bspan.End()
+		return nil, err
+	}
+	bspan.SetAttr("session", sess.ID)
+	bspan.SetAttr("symbols", strconv.Itoa(len(job.bindVals)))
+	bspan.End()
+	if s.met != nil {
+		s.met.bindSecs.ObserveSeconds(bindDur.Nanoseconds())
+	}
+	rep, err := executeCompiled(sess.stack, bound, sess.numQubits, job.Req.Shots, job.seed, span)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Report: rep}, nil
 }
 
 // retire records a finished job for retention and evicts the oldest
@@ -675,6 +752,9 @@ type Stats struct {
 	PrefixHitRate float64        `json:"prefix_hit_rate"`
 	PrefixCache   CacheStats     `json:"prefix_cache"`
 	Backends      []BackendStats `json:"backends"`
+	// Sessions reports the variational-session layer: open sessions,
+	// lifecycle churn and binds streamed through the fast path.
+	Sessions SessionStats `json:"sessions"`
 }
 
 // Stats returns a point-in-time snapshot of queue depth, per-backend
@@ -684,6 +764,14 @@ func (s *Service) Stats() Stats {
 	pools := make([]*backendPool, len(s.pools))
 	copy(pools, s.pools)
 	startedAt := s.startedAt
+	s.sweepSessionsLocked(time.Now())
+	sessions := SessionStats{
+		Active:  len(s.sessions),
+		Opened:  s.sessOpened,
+		Expired: s.sessExpired,
+		Evicted: s.sessEvicted,
+		Binds:   s.binds.Load(),
+	}
 	s.mu.Unlock()
 
 	uptime := time.Since(startedAt)
@@ -693,6 +781,7 @@ func (s *Service) Stats() Stats {
 	st := Stats{
 		UptimeSec:     uptime.Seconds(),
 		JobsSubmitted: s.submitted.Load(),
+		Sessions:      sessions,
 	}
 	for _, p := range pools {
 		st.QueueDepth += len(p.ch)

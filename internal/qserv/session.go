@@ -1,0 +1,512 @@
+package qserv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/openql"
+	"repro/internal/target"
+)
+
+// ErrUnknownSession distinguishes lookups of unknown (or expired)
+// sessions — HTTP 404 — from invalid inputs (HTTP 400).
+var ErrUnknownSession = errors.New("qserv: unknown session")
+
+// Session pins one eagerly compiled — typically parameterised — artefact
+// so a variational optimiser can stream parameter bindings against it.
+// Each bind is a cheap sub-job through the session backend's ordinary
+// queue and worker pool: the worker patches the pinned artefact's bind
+// table (O(#symbols), never re-entering the compiler) and executes the
+// bound copy. The artefact itself lives in the shared full-artefact
+// cache, keyed by the program's symbolic content hash, so every session
+// on — and every binding of — one ansatz shares a single cache entry per
+// level.
+type Session struct {
+	// ID names the session ("sess-N").
+	ID string
+
+	pool      *backendPool
+	stack     *core.Stack
+	compiled  *openql.Compiled
+	numQubits int
+	symbols   []string
+	name      string
+	shots     int
+	engine    string
+	passes    string
+	hit       bool
+	created   time.Time
+
+	mu       sync.Mutex
+	lastUsed time.Time
+	binds    uint64
+}
+
+// Symbols returns the sorted free parameters of the pinned artefact
+// (empty for a concrete program).
+func (ss *Session) Symbols() []string { return append([]string(nil), ss.symbols...) }
+
+// Backend returns the name of the backend the session is pinned to.
+func (ss *Session) Backend() string { return ss.pool.b.Name() }
+
+// CompileCacheHit reports whether the session's eager compile was served
+// from the shared full-artefact cache — true whenever another session
+// (or job) already compiled the same symbolic program on the same stack.
+func (ss *Session) CompileCacheHit() bool { return ss.hit }
+
+func (ss *Session) usage() (lastUsed time.Time, binds uint64) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.lastUsed, ss.binds
+}
+
+// BindRequest is one parameter binding streamed into a session. Values
+// must bind every free symbol of the session's artefact exactly (and be
+// empty for a concrete program).
+type BindRequest struct {
+	// Name labels the bind job in views and logs; optional.
+	Name string
+	// Values maps each free symbol to its angle.
+	Values map[string]float64
+	// Shots overrides the session's per-bind shot count when positive.
+	Shots int
+	// Seed pins the bind's random seed; 0 derives a fresh deterministic
+	// seed, distinct per bind.
+	Seed int64
+}
+
+// OpenSession eagerly compiles the request's gate program — symbolic
+// parameters preserved — and pins the artefact for streaming binds. The
+// request routes exactly like Submit (backend, engine, passes, device
+// and calibration overrides all apply), must carry a gate payload, and
+// compiles through the shared caches: opening a second session on the
+// same program is a cache hit, not a recompile. Idle sessions expire
+// after Config.SessionTTL; opening beyond Config.MaxSessions evicts the
+// least-recently-used session.
+func (s *Service) OpenSession(req Request) (*Session, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if req.QUBO != nil {
+		return nil, errors.New("qserv: sessions pin gate programs; QUBO payloads have no parameters to bind")
+	}
+	if req.Shots <= 0 {
+		req.Shots = s.cfg.DefaultShots
+	}
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil, errors.New("qserv: service not started")
+	}
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
+	pool, err := s.route(&req)
+	if err == nil {
+		err = validateDeviceOverrides(&req, pool.b)
+	}
+	var sb SessionBackend
+	if err == nil {
+		var ok bool
+		if sb, ok = pool.b.(SessionBackend); !ok {
+			err = fmt.Errorf("qserv: backend %q does not support sessions", pool.b.Name())
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	// Compile outside the service lock: an eager compile can be slow and
+	// must not stall Submit. The shared cache deduplicates concurrent
+	// opens of the same program.
+	stack, p, compiled, hit, err := sb.CompileForSession(&req, s.env)
+	if err != nil {
+		return nil, err
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	s.sweepSessionsLocked(now)
+	if s.cfg.MaxSessions > 0 {
+		for len(s.sessions) >= s.cfg.MaxSessions {
+			s.evictLRUSessionLocked()
+		}
+	}
+	n := s.seq.Add(1)
+	sess := &Session{
+		ID:        fmt.Sprintf("sess-%d", n),
+		pool:      pool,
+		stack:     stack,
+		compiled:  compiled,
+		numQubits: p.NumQubits,
+		symbols:   compiled.Symbols(),
+		name:      req.Name,
+		shots:     req.Shots,
+		engine:    req.Engine,
+		passes:    req.Passes,
+		hit:       hit,
+		created:   now,
+		lastUsed:  now,
+	}
+	s.sessions[sess.ID] = sess
+	s.sessOpened++
+	if s.met != nil {
+		s.met.sessionsOpened.Inc()
+	}
+	s.log.Info("session opened",
+		"session", sess.ID, "backend", pool.b.Name(), "name", req.Name,
+		"symbols", len(sess.symbols), "compile_cache_hit", hit)
+	return sess, nil
+}
+
+// BindSession binds the session's free parameters and enqueues the bound
+// execution as a sub-job on the session's backend lane, returning the
+// tracked job. The worker never recompiles: it patches the pinned
+// artefact's bind table and executes. Like Submit it never blocks — a
+// full queue fails fast with ErrQueueFull. Bindings are validated here,
+// so malformed value sets are rejected at submit time.
+func (s *Service) BindSession(id string, breq BindRequest) (*Job, error) {
+	s.mu.Lock()
+	s.sweepSessionsLocked(time.Now())
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownSession, id)
+	}
+	// Strict symbol check up front: every free symbol bound, no strays.
+	if len(breq.Values) != len(sess.symbols) {
+		return nil, fmt.Errorf("qserv: session %s binds %d symbols %v, got %d values",
+			id, len(sess.symbols), sess.symbols, len(breq.Values))
+	}
+	for _, sym := range sess.symbols {
+		if _, ok := breq.Values[sym]; !ok {
+			return nil, fmt.Errorf("qserv: session %s: missing value for symbol %q", id, sym)
+		}
+	}
+	shots := breq.Shots
+	if shots <= 0 {
+		shots = sess.shots
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		return nil, errors.New("qserv: service not started")
+	}
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	n := s.seq.Add(1)
+	seed := breq.Seed
+	if seed == 0 {
+		seed = s.cfg.Seed + int64(n)*2654435761
+	}
+	req := Request{
+		Name:    breq.Name,
+		Backend: sess.pool.b.Name(),
+		Engine:  sess.engine,
+		Passes:  sess.passes,
+		Shots:   shots,
+		Seed:    breq.Seed,
+	}
+	job := newJob(fmt.Sprintf("job-%d", n), req, sess.pool, seed)
+	job.sess = sess
+	job.bindVals = breq.Values
+	if s.tracer != nil {
+		job.trace = s.tracer.StartAt(job.ID, "job", job.submitted)
+		root := job.trace.Root()
+		root.SetAttr("backend", sess.pool.b.Name())
+		root.SetAttr("session", sess.ID)
+		if req.Name != "" {
+			root.SetAttr("name", req.Name)
+		}
+		job.queueSpan = root.StartChildAt("queue.wait", job.submitted)
+	}
+	select {
+	case sess.pool.ch <- job:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.submitted.Add(1)
+	s.binds.Add(1)
+	sess.mu.Lock()
+	sess.lastUsed = job.submitted
+	sess.binds++
+	sess.mu.Unlock()
+	if s.met != nil {
+		s.met.jobsSubmitted.Inc()
+		s.met.bindsTotal.Inc()
+	}
+	s.log.Debug("bind submitted",
+		"trace_id", job.TraceID(), "job", job.ID, "session", sess.ID,
+		"backend", sess.pool.b.Name(), "name", req.Name)
+	return job, nil
+}
+
+// CloseSession unpins a session; in-flight binds finish normally (they
+// hold their own reference to the pinned artefact). Closing an unknown
+// or expired session returns ErrUnknownSession.
+func (s *Service) CloseSession(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return fmt.Errorf("%w %q", ErrUnknownSession, id)
+	}
+	delete(s.sessions, id)
+	s.log.Info("session closed", "session", id)
+	return nil
+}
+
+// Session looks up an open session by ID.
+func (s *Service) Session(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepSessionsLocked(time.Now())
+	ss, ok := s.sessions[id]
+	return ss, ok
+}
+
+// Sessions lists the open sessions, oldest first.
+func (s *Service) Sessions() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepSessionsLocked(time.Now())
+	out := make([]*Session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		out = append(out, ss)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].created.Before(out[j].created) })
+	return out
+}
+
+// sweepSessionsLocked drops sessions idle past Config.SessionTTL.
+// Expiry is lazy — checked on every session-store access — so no
+// background timer is needed and tests stay deterministic.
+func (s *Service) sweepSessionsLocked(now time.Time) {
+	if s.cfg.SessionTTL <= 0 {
+		return
+	}
+	for id, ss := range s.sessions {
+		lastUsed, _ := ss.usage()
+		if now.Sub(lastUsed) > s.cfg.SessionTTL {
+			delete(s.sessions, id)
+			s.sessExpired++
+			s.log.Info("session expired", "session", id, "idle", now.Sub(lastUsed).String())
+		}
+	}
+}
+
+// evictLRUSessionLocked drops the least-recently-used session to make
+// room for a new one.
+func (s *Service) evictLRUSessionLocked() {
+	var victim string
+	var oldest time.Time
+	for id, ss := range s.sessions {
+		lastUsed, _ := ss.usage()
+		if victim == "" || lastUsed.Before(oldest) {
+			victim, oldest = id, lastUsed
+		}
+	}
+	if victim == "" {
+		return
+	}
+	delete(s.sessions, victim)
+	s.sessEvicted++
+	s.log.Info("session evicted", "session", victim)
+}
+
+// SessionStats is the session slice of the /stats report.
+type SessionStats struct {
+	// Active is the number of currently open sessions.
+	Active int `json:"active"`
+	// Opened, Expired and Evicted count session lifecycle events since
+	// Start: TTL expiries and LRU evictions are split out so capacity
+	// pressure is distinguishable from idle churn.
+	Opened  uint64 `json:"opened"`
+	Expired uint64 `json:"expired"`
+	Evicted uint64 `json:"evicted"`
+	// Binds counts parameter bindings streamed through sessions — the
+	// jobs that skipped compilation entirely via the bind fast path.
+	Binds uint64 `json:"binds"`
+}
+
+// SessionView is the JSON rendering of a session for the HTTP API.
+type SessionView struct {
+	ID      string `json:"id"`
+	Name    string `json:"name,omitempty"`
+	Backend string `json:"backend"`
+	// Symbols are the free parameters every bind must supply.
+	Symbols    []string `json:"symbols,omitempty"`
+	Parametric bool     `json:"parametric"`
+	// CompileCacheHit reports whether the eager compile reused a shared
+	// full-artefact cache entry.
+	CompileCacheHit bool      `json:"compile_cache_hit"`
+	Binds           uint64    `json:"binds"`
+	Shots           int       `json:"shots"`
+	Engine          string    `json:"engine,omitempty"`
+	Passes          string    `json:"passes,omitempty"`
+	CreatedAt       time.Time `json:"created_at"`
+	LastUsedAt      time.Time `json:"last_used_at"`
+	// ExpiresAt is when the session lapses if no further bind arrives
+	// (absent when expiry is disabled).
+	ExpiresAt *time.Time `json:"expires_at,omitempty"`
+}
+
+func (s *Service) viewSession(ss *Session) SessionView {
+	lastUsed, binds := ss.usage()
+	v := SessionView{
+		ID:              ss.ID,
+		Name:            ss.name,
+		Backend:         ss.pool.b.Name(),
+		Symbols:         ss.Symbols(),
+		Parametric:      len(ss.symbols) > 0,
+		CompileCacheHit: ss.hit,
+		Binds:           binds,
+		Shots:           ss.shots,
+		Engine:          ss.engine,
+		Passes:          ss.passes,
+		CreatedAt:       ss.created,
+		LastUsedAt:      lastUsed,
+	}
+	if s.cfg.SessionTTL > 0 {
+		exp := lastUsed.Add(s.cfg.SessionTTL)
+		v.ExpiresAt = &exp
+	}
+	return v
+}
+
+// OpenSessionJSON is the JSON body of POST /sessions: the parameterised
+// program (cQASM with $name parameters) plus the same routing and
+// override fields as POST /submit. Shots is the default per-bind shot
+// count.
+type OpenSessionJSON struct {
+	Name    string `json:"name,omitempty"`
+	CQASM   string `json:"cqasm"`
+	Backend string `json:"backend,omitempty"`
+	Engine  string `json:"engine,omitempty"`
+	Passes  string `json:"passes,omitempty"`
+	// Target and Calibration override the session's device exactly like
+	// their POST /submit counterparts; every bind executes against the
+	// overridden device.
+	Target      json.RawMessage     `json:"target,omitempty"`
+	Calibration *target.Calibration `json:"calibration,omitempty"`
+	Shots       int                 `json:"shots,omitempty"`
+}
+
+// BindJSON is the JSON body of POST /sessions/{id}/bind.
+type BindJSON struct {
+	Name   string             `json:"name,omitempty"`
+	Values map[string]float64 `json:"values"`
+	Shots  int                `json:"shots,omitempty"`
+	Seed   int64              `json:"seed,omitempty"`
+}
+
+func (s *Service) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var or OpenSessionJSON
+	if err := json.NewDecoder(r.Body).Decode(&or); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return
+	}
+	req := Request{
+		Name:        or.Name,
+		CQASM:       or.CQASM,
+		Backend:     or.Backend,
+		Engine:      or.Engine,
+		Passes:      or.Passes,
+		Calibration: or.Calibration,
+		Shots:       or.Shots,
+	}
+	if len(or.Target) > 0 {
+		dev, err := target.Parse(or.Target)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Target = dev
+	}
+	sess, err := s.OpenSession(req)
+	switch {
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.viewSession(sess))
+}
+
+func (s *Service) handleSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := s.Sessions()
+	views := make([]SessionView, 0, len(sessions))
+	for _, ss := range sessions {
+		views = append(views, s.viewSession(ss))
+	}
+	writeJSON(w, http.StatusOK, map[string][]SessionView{"sessions": views})
+}
+
+func (s *Service) handleSession(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", ErrUnknownSession, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewSession(ss))
+}
+
+func (s *Service) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.CloseSession(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"session": id, "status": "closed"})
+}
+
+func (s *Service) handleBind(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var br BindJSON
+	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return
+	}
+	job, err := s.BindSession(id, BindRequest{
+		Name: br.Name, Values: br.Values, Shots: br.Shots, Seed: br.Seed,
+	})
+	switch {
+	case errors.Is(err, ErrUnknownSession):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if tid := job.TraceID(); tid != "" {
+		w.Header().Set("X-Trace-Id", tid)
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID:      job.ID,
+		Status:  job.Status(),
+		Backend: job.Backend(),
+	})
+}
