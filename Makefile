@@ -9,6 +9,7 @@ BENCH_COUNT ?= 5
 BENCH_TOLERANCE ?= 0.20
 OBS_OVERHEAD_CEILING ?= 5
 PARAM_BIND_CEILING ?= 10
+STAB_VS_DENSE_CEILING ?= 1
 STATICCHECK_VERSION ?= 2025.1.1
 
 # The bench-baseline/bench-gate recipes pipe `go test` into benchgate;
@@ -72,16 +73,19 @@ bench-gate:
 	$(GO) test -bench=. -benchtime=1x -count=$(BENCH_COUNT) -benchmem -run=^$$ . \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_5.json -emit BENCH_5.current.json \
 			-tolerance $(BENCH_TOLERANCE) -ceiling overhead_pct=$(OBS_OVERHEAD_CEILING) \
-			-ceiling bind_vs_compile_pct=$(PARAM_BIND_CEILING)
+			-ceiling bind_vs_compile_pct=$(PARAM_BIND_CEILING) \
+			-ceiling stabilizer_vs_dense_pct=$(STAB_VS_DENSE_CEILING)
 
 # Coverage gates on the layers every other layer builds on: the
-# device/target contract and the observability primitives (mirrors the
-# CI step).
+# device/target contract, the observability primitives and the qx
+# engine suite with its stabilizer fast path (mirrors the CI step).
 cover:
 	$(GO) test -coverprofile=target.cov ./internal/target
 	$(GO) tool cover -func=target.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/target coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/target coverage " $$3 "%"}'
 	$(GO) test -coverprofile=obs.cov ./internal/obs
 	$(GO) tool cover -func=obs.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/obs coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/obs coverage " $$3 "%"}'
+	$(GO) test -coverprofile=qx.cov ./internal/qx
+	$(GO) tool cover -func=qx.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/qx coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/qx coverage " $$3 "%"}'
 
 # End-to-end scrape smoke: boot qservd, submit a job over HTTP, then
 # verify /metrics serves Prometheus exposition with the job counters,

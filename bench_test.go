@@ -344,7 +344,127 @@ func BenchmarkE8_QXScaling(b *testing.B) {
 				n, amps, float64(amps)*16/(1<<20))
 		})
 	}
-	report("E8 QX scaling (state memory doubles per qubit; 35q ≈ 512 GiB server-class)", rows)
+	// Extension rows: the same entangling workload on the stabilizer
+	// tableau, where cost is polynomial in n — the curve stays flat
+	// through the paper's 35-qubit laptop ceiling and far past it.
+	for _, n := range []int{22, 35, 50, 100} {
+		n := n
+		b.Run(fmt.Sprintf("tableau_ghz%d", n), func(b *testing.B) {
+			sim := qx.NewWithEngine(1, qx.Stabilizer())
+			c := circuit.GHZ(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(c, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			words := (n + 63) / 64
+			rows += fmt.Sprintf("n=%3d  tableau rows %4d × %d words  %8.1f KiB (stabilizer engine)\n",
+				n, 2*n+1, words, float64((2*n+1)*words*16+2*n+1)/(1<<10))
+		})
+	}
+	report("E8 QX scaling (dense state memory doubles per qubit; 35q ≈ 512 GiB server-class — tableau rows grow as n²)", rows)
+}
+
+// E24 — the stabilizer fast path (ISSUE 8): Clifford workloads (GHZ
+// sampling, one circuit-level surface-code ESM round) on the tableau
+// engine versus the dense optimized engine. Dense arms stop at 22
+// qubits (cost doubles per qubit); the tableau continues to 100. The
+// 22-qubit ratio is reported as stabilizer_vs_dense_pct and gated in CI
+// by `benchgate -ceiling stabilizer_vs_dense_pct=1` — a ≥100x floor.
+func BenchmarkStabilizerVsDense(b *testing.B) {
+	const shots = 256
+	surface := func(d int) *circuit.Circuit {
+		sc, err := qec.NewSurfaceCode(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sc.CycleCircuit()
+	}
+	cases := []struct {
+		name  string
+		c     *circuit.Circuit
+		dense bool
+	}{
+		{"ghz16", circuit.GHZ(16), true},
+		{"ghz22", circuit.GHZ(22), true},
+		{"ghz50", circuit.GHZ(50), false},
+		{"ghz100", circuit.GHZ(100), false},
+		{"surface_d3", surface(3), true},
+		{"surface_d7", surface(7), false},
+	}
+	times := map[string]time.Duration{}
+	rows := ""
+	for _, tc := range cases {
+		tc := tc
+		arms := []struct {
+			arm string
+			eng qx.Engine
+		}{{"stabilizer", qx.Stabilizer()}}
+		if tc.dense {
+			arms = append(arms, struct {
+				arm string
+				eng qx.Engine
+			}{"dense", qx.Optimized()})
+		}
+		for _, a := range arms {
+			a := a
+			b.Run(tc.name+"/"+a.arm, func(b *testing.B) {
+				sim := qx.NewWithEngine(1, a.eng)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(tc.c, shots); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				perOp := b.Elapsed() / time.Duration(b.N)
+				key := tc.name + "/" + a.arm
+				if prev, ok := times[key]; !ok || perOp < prev {
+					times[key] = perOp
+				}
+			})
+		}
+		row := fmt.Sprintf("%-11s %3d qubits  tableau %10.1f µs/batch", tc.name,
+			tc.c.NumQubits, float64(times[tc.name+"/stabilizer"].Nanoseconds())/1e3)
+		if tc.dense {
+			row += fmt.Sprintf("  dense %12.1f µs/batch  speedup %8.1fx",
+				float64(times[tc.name+"/dense"].Nanoseconds())/1e3,
+				float64(times[tc.name+"/dense"])/float64(times[tc.name+"/stabilizer"]))
+		} else {
+			row += "  dense    (out of reach)"
+		}
+		rows += row + "\n"
+	}
+	// The gated ratio runs both arms inside one leaf benchmark so the
+	// metric lands on a parsed result line (parents with sub-benchmarks
+	// never emit one).
+	b.Run("ghz22_ratio", func(b *testing.B) {
+		c := circuit.GHZ(22)
+		stab := qx.NewWithEngine(1, qx.Stabilizer())
+		dense := qx.NewWithEngine(1, qx.Optimized())
+		minStab := time.Duration(math.MaxInt64)
+		minDense := time.Duration(math.MaxInt64)
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, err := dense.Run(c, shots); err != nil {
+				b.Fatal(err)
+			}
+			minDense = min(minDense, time.Since(start))
+			start = time.Now()
+			if _, err := stab.Run(c, shots); err != nil {
+				b.Fatal(err)
+			}
+			minStab = min(minStab, time.Since(start))
+		}
+		pct := 100 * float64(minStab) / float64(minDense)
+		b.ReportMetric(pct, "stabilizer_vs_dense_pct")
+		rows += fmt.Sprintf("ghz22 stabilizer_vs_dense_pct %.4f (ceiling 1 ⇒ floor 100x)\n", pct)
+	})
+	report(fmt.Sprintf("E24 stabilizer vs dense (%d-shot Clifford batches)", shots), rows)
 }
 
 // E9 — §2.1/§2.7: error-rate sweep on realistic qubits, from today's

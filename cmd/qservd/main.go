@@ -9,7 +9,7 @@
 //
 //	qservd [-addr :8080] [-qubits 10] [-workers 2] [-queue 256] [-cache 512]
 //	       [-prefix-cache 2048] [-compile-workers N] [-shots 1024] [-seed 1]
-//	       [-engine optimized] [-passes spec]
+//	       [-engine auto] [-passes spec]
 //	       [-session-ttl 15m] [-max-sessions 256]
 //	       [-target device.json] [-calibration cal.json]
 //	       [-metrics] [-trace-ring 1024] [-pprof]
@@ -72,6 +72,22 @@
 // to stderr keyed by trace_id: job lifecycle at info, per-request HTTP
 // access logs at debug; -log-format selects text or JSON, -log-level
 // the threshold.
+//
+// Execution engines: every gate job runs on one of three qx engines —
+// "reference" (readable dense state vector), "optimized" (cache-blocked
+// dense kernels) and "stabilizer" (Aaronson–Gottesman CHP tableau,
+// polynomial in qubit count but Clifford-only). The default "auto"
+// meta-engine inspects each compiled circuit at dispatch time and picks
+// the stabilizer engine when every gate is Clifford (rotations at exact
+// multiples of π/2 included) and the backend noise model is
+// tableau-compatible (stochastic Pauli: depolarizing, dephasing,
+// readout flips — amplitude damping forces the dense path); everything
+// else runs dense. The per-job "engine" field overrides the default
+// (400 lists the valid names on a typo); the resolved engine surfaces
+// as the job view's "engine" field, an "engine" attribute on the
+// execution span, and the qserv_engine_dispatch_total{engine=...}
+// counter. Counts for registers wider than 63 qubits are keyed by
+// bitstring in the result view, exactly like narrow ones.
 //
 // The optional "passes" field selects the compiler pass pipeline per job,
 // including per-pass options such as map(strategy=noise) for
@@ -145,8 +161,9 @@ func main() {
 		"service-wide kernel-compile parallelism budget (0 = GOMAXPROCS; negative serial)")
 	shots := flag.Int("shots", 1024, "default shots per gate job")
 	seed := flag.Int64("seed", 1, "base seed for per-job seed derivation")
-	engine := flag.String("engine", qx.DefaultEngine,
-		"qx execution engine for the gate stacks: "+strings.Join(qx.EngineNames(), ", "))
+	engine := flag.String("engine", qx.EngineAuto,
+		"qx execution engine for the gate stacks: "+strings.Join(qx.EngineNames(), ", ")+
+			" (auto picks the stabilizer tableau for Clifford circuits)")
 	passes := flag.String("passes", "",
 		"default compiler pass pipeline for the gate stacks (available: "+
 			strings.Join(compiler.PassNames(), ", ")+"); empty selects the standard flow")

@@ -7,6 +7,12 @@
 //	   [-compile-workers N] [-target device.json] [-calibration cal.json]
 //	   [-depolarizing P] [-readout P] [-state] file.cq
 //
+// -engine selects the execution engine (default auto): auto dispatches
+// Clifford circuits under tableau-compatible noise to the stabilizer
+// engine — polynomial in qubit count, opening 100+ qubit circuits —
+// and everything else to the dense optimized engine. Pass a concrete
+// engine name to pin one.
+//
 // With -passes the circuit first runs through the compiler pass pipeline
 // and the per-pass report — wall time, gate count, depth — is printed to
 // stderr before execution; without it the circuit executes as written.
@@ -36,8 +42,9 @@ import (
 func main() {
 	shots := flag.Int("shots", 1024, "number of measurement shots")
 	seed := flag.Int64("seed", 1, "PRNG seed")
-	engineName := flag.String("engine", qx.DefaultEngine,
-		"execution engine: "+strings.Join(qx.EngineNames(), ", "))
+	engineName := flag.String("engine", qx.EngineAuto,
+		"execution engine: "+strings.Join(qx.EngineNames(), ", ")+
+			" (auto picks the stabilizer tableau for Clifford circuits)")
 	parallel := flag.Int("parallel", 0,
 		"shot-batch workers (>1 fans shots across goroutines; 0/1 serial)")
 	passes := flag.String("passes", "",

@@ -79,16 +79,34 @@
 //
 // The execution layer itself is pluggable: internal/qx defines an Engine
 // interface — execute a compiled circuit into sampled counts or a final
-// state — with two implementations, the naive reference engine and the
-// default optimized dense engine (specialized bit-twiddling kernels,
-// precompiled per-circuit matrix tables, chunk-parallel amplitude
-// application, cumulative-distribution sampling). The two are
-// differentially tested to produce identical seeded counts, and engine
-// selection threads through every layer: core.Stack.Engine (part of the
-// compiled-circuit fingerprint), microarch (any engine-backed simulator),
-// per-job engine choice in qserv, and -engine flags on cmd/qx and
-// cmd/qservd. Large shot counts fan out across CPU cores in parallel
-// shot batches (qx.Simulator.RunParallel, core.Stack.ParallelShots,
+// state — with three implementations: the naive reference engine, the
+// optimized dense engine (specialized bit-twiddling kernels, precompiled
+// per-circuit matrix tables, chunk-parallel amplitude application,
+// cumulative-distribution sampling), and the stabilizer engine, an
+// Aaronson–Gottesman CHP tableau that executes Clifford circuits in
+// polynomial time — 100-qubit GHZ sampling and distance-7 surface-code
+// ESM rounds in milliseconds, where dense cost doubles per qubit
+// (counts beyond 63 qubits are keyed by bitstring in
+// qx.Result.WideCounts). The default "auto" meta-engine dispatches per
+// circuit: circuit.IsClifford (structural Clifford gates plus any
+// rotation at an exact multiple of π/2) and a tableau-compatible noise
+// model (stochastic Pauli; amplitude damping forces the dense path)
+// select the tableau, everything else runs dense. All engines are
+// differentially tested to produce identical seeded counts — the
+// stabilizer engine mirrors the dense PRNG walk draw for draw — and
+// engine selection threads through every layer: core.Stack.Engine (part
+// of the compiled-circuit fingerprint; core.Report.Engine names the
+// resolved dispatch target), microarch (any engine-backed simulator),
+// per-job engine choice in qserv (the resolved engine surfaces in job
+// views, execution spans and qserv_engine_dispatch_total), and -engine
+// flags on cmd/qx and cmd/qservd. The fast path lifts the QEC and RB
+// layers to the regimes the paper argues for: circuit-level syndrome
+// extraction at distance ≥ 7 (internal/qec, examples/surface_code) and
+// simultaneous randomized benchmarking on 50+ qubits (internal/rb). A
+// CI benchmark (BenchmarkStabilizerVsDense) holds the 22-qubit Clifford
+// speedup above 100x through the stabilizer_vs_dense_pct ceiling gate.
+// Large shot counts fan out across CPU cores in parallel shot batches
+// (qx.Simulator.RunParallel, core.Stack.ParallelShots,
 // microarch.Machine.ShotWorkers).
 //
 // Above the single-caller stack sits the concurrent accelerator service

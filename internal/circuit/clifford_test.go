@@ -1,0 +1,158 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/quantum"
+)
+
+// Every decomposition entry must reproduce its gate's unitary up to
+// global phase. The check applies the gate matrix and the generator
+// word to the same scrambled two-qubit state (superposition with
+// non-trivial relative phases, so sign and phase errors cannot hide)
+// and demands fidelity 1.
+func TestCliffordDecomposeMatchesUnitary(t *testing.T) {
+	catalog := []Gate{
+		{Name: "i", Qubits: []int{0}},
+		{Name: "x", Qubits: []int{1}},
+		{Name: "y", Qubits: []int{0}},
+		{Name: "z", Qubits: []int{1}},
+		{Name: "h", Qubits: []int{0}},
+		{Name: "s", Qubits: []int{1}},
+		{Name: "sdag", Qubits: []int{0}},
+		{Name: "x90", Qubits: []int{0}},
+		{Name: "mx90", Qubits: []int{1}},
+		{Name: "y90", Qubits: []int{0}},
+		{Name: "my90", Qubits: []int{1}},
+		{Name: "rx", Qubits: []int{0}, Params: []float64{0}},
+		{Name: "rx", Qubits: []int{0}, Params: []float64{math.Pi / 2}},
+		{Name: "rx", Qubits: []int{1}, Params: []float64{math.Pi}},
+		{Name: "rx", Qubits: []int{0}, Params: []float64{-math.Pi / 2}},
+		{Name: "ry", Qubits: []int{1}, Params: []float64{math.Pi / 2}},
+		{Name: "ry", Qubits: []int{0}, Params: []float64{math.Pi}},
+		{Name: "ry", Qubits: []int{1}, Params: []float64{3 * math.Pi / 2}},
+		{Name: "rz", Qubits: []int{0}, Params: []float64{math.Pi / 2}},
+		{Name: "rz", Qubits: []int{1}, Params: []float64{math.Pi}},
+		{Name: "rz", Qubits: []int{0}, Params: []float64{-math.Pi / 2}},
+		{Name: "rz", Qubits: []int{1}, Params: []float64{2 * math.Pi}},
+		{Name: "phase", Qubits: []int{0}, Params: []float64{math.Pi / 2}},
+		{Name: "phase", Qubits: []int{1}, Params: []float64{3 * math.Pi / 2}},
+		{Name: "u3", Qubits: []int{0}, Params: []float64{math.Pi / 2, math.Pi, -math.Pi / 2}},
+		{Name: "u3", Qubits: []int{1}, Params: []float64{math.Pi, math.Pi / 2, math.Pi / 2}},
+		{Name: "cnot", Qubits: []int{0, 1}},
+		{Name: "cnot", Qubits: []int{1, 0}},
+		{Name: "cz", Qubits: []int{0, 1}},
+		{Name: "swap", Qubits: []int{0, 1}},
+		{Name: "iswap", Qubits: []int{0, 1}},
+		{Name: "iswap", Qubits: []int{1, 0}},
+		{Name: "iswapdag", Qubits: []int{0, 1}},
+		{Name: "cphase", Qubits: []int{0, 1}, Params: []float64{math.Pi}},
+		{Name: "cphase", Qubits: []int{1, 0}, Params: []float64{-math.Pi}},
+		{Name: "cphase", Qubits: []int{0, 1}, Params: []float64{0}},
+		{Name: "crz", Qubits: []int{0, 1}, Params: []float64{math.Pi}},
+		{Name: "crz", Qubits: []int{1, 0}, Params: []float64{2 * math.Pi}},
+		{Name: "crz", Qubits: []int{0, 1}, Params: []float64{3 * math.Pi}},
+		{Name: "crz", Qubits: []int{0, 1}, Params: []float64{-math.Pi}},
+	}
+	for _, g := range catalog {
+		word, ok := CliffordDecompose(g)
+		if !ok {
+			t.Errorf("%s: not recognised as Clifford", g.String())
+			continue
+		}
+		sa, sb := scrambled(), scrambled()
+		m, err := g.Matrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa.Apply(m, g.Qubits...)
+		for _, cg := range word {
+			gen := Gate{Name: cg.Kind.String(), Qubits: []int{cg.Q0}}
+			if cg.Kind == CliffordCNOT || cg.Kind == CliffordCZ || cg.Kind == CliffordSWAP {
+				gen.Qubits = []int{cg.Q0, cg.Q1}
+			}
+			gm, err := gen.Matrix()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.Apply(gm, gen.Qubits...)
+		}
+		if f := sa.Fidelity(sb); math.Abs(f-1) > 1e-9 {
+			t.Errorf("%s: decomposition fidelity %v (word %v)", g.String(), f, word)
+		}
+	}
+}
+
+// scrambled prepares a fixed two-qubit state with distinct amplitudes
+// and phases on every basis state.
+func scrambled() *quantum.State {
+	st := quantum.NewState(2)
+	st.Apply(quantum.H, 0)
+	st.Apply(quantum.T, 0)
+	st.Apply(quantum.RY(0.7), 1)
+	st.Apply(quantum.CNOT, 0, 1)
+	st.Apply(quantum.RZ(0.3), 1)
+	return st
+}
+
+func TestCliffordDecomposeRejectsNonClifford(t *testing.T) {
+	nonClifford := []Gate{
+		{Name: "t", Qubits: []int{0}},
+		{Name: "tdag", Qubits: []int{0}},
+		{Name: "rz", Qubits: []int{0}, Params: []float64{0.3}},
+		{Name: "rx", Qubits: []int{0}, Params: []float64{math.Pi / 4}},
+		{Name: "ry", Qubits: []int{0}, Params: []float64{math.Pi/2 + 1e-6}},
+		{Name: "u3", Qubits: []int{0}, Params: []float64{math.Pi / 2, math.Pi / 3, 0}},
+		{Name: "cphase", Qubits: []int{0, 1}, Params: []float64{math.Pi / 2}},
+		{Name: "crz", Qubits: []int{0, 1}, Params: []float64{math.Pi / 2}},
+		{Name: "toffoli", Qubits: []int{0, 1, 2}},
+		{Name: "fredkin", Qubits: []int{0, 1, 2}},
+		{Name: OpMeasure, Qubits: []int{0}},
+	}
+	for _, g := range nonClifford {
+		if _, ok := CliffordDecompose(g); ok {
+			t.Errorf("%s: accepted as Clifford", g.String())
+		}
+	}
+	// Symbolic parameters cannot be classified before binding.
+	sym := Gate{Name: "rz", Qubits: []int{0}, Params: []float64{0}, Exprs: []*ParamExpr{Sym("theta")}}
+	if _, ok := CliffordDecompose(sym); ok {
+		t.Error("symbolic rz accepted as Clifford")
+	}
+}
+
+// Angles within CliffordAngleTol of a quarter turn must snap; anything
+// farther must not.
+func TestCliffordAngleSnapping(t *testing.T) {
+	g := Gate{Name: "rz", Qubits: []int{0}, Params: []float64{math.Pi/2 + 1e-12}}
+	if _, ok := CliffordDecompose(g); !ok {
+		t.Error("angle within tolerance of pi/2 not snapped")
+	}
+	g.Params[0] = math.Pi/2 + 1e-6
+	if _, ok := CliffordDecompose(g); ok {
+		t.Error("angle 1e-6 off pi/2 wrongly snapped")
+	}
+	// Period wrapping: -pi/2 and 7*pi/2 are the same Clifford.
+	a, _ := CliffordDecompose(Gate{Name: "rz", Qubits: []int{0}, Params: []float64{-math.Pi / 2}})
+	b, _ := CliffordDecompose(Gate{Name: "rz", Qubits: []int{0}, Params: []float64{7 * math.Pi / 2}})
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] || a[0].Kind != CliffordSdag {
+		t.Errorf("rz(-pi/2) -> %v, rz(7pi/2) -> %v, want both [sdag]", a, b)
+	}
+}
+
+func TestIsClifford(t *testing.T) {
+	ghz := GHZ(5)
+	ghz.Measure(0)
+	ghz.AddGate(Gate{Name: "x", Qubits: []int{1}, HasCond: true, CondBit: 0})
+	if !IsClifford(ghz) {
+		t.Error("GHZ + measurement + feed-forward not recognised as Clifford")
+	}
+	qft := New("t", 2).H(0).T(0).CNOT(0, 1)
+	if IsClifford(qft) {
+		t.Error("circuit with T gate recognised as Clifford")
+	}
+	if !IsClifford(New("empty", 3)) {
+		t.Error("empty circuit not Clifford")
+	}
+}

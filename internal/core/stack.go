@@ -261,6 +261,12 @@ type Report struct {
 	Compile *compiler.CompileReport
 	// WallNs is the modelled execution time of one shot in nanoseconds.
 	WallNs int
+	// Engine is the qx engine that actually executed the shots. When the
+	// stack is configured with the "auto" meta-engine this is the
+	// dispatch target ("stabilizer" or "optimized"), resolved per
+	// compiled circuit — the value the qserv layer records on spans and
+	// the engine-dispatch counter.
+	Engine string
 	// ExecNs is the measured wall time of the execution phase (engine
 	// shots, or eQASM through the micro-architecture on realistic
 	// stacks) — the run half of the compile/run split. The compile half
@@ -314,6 +320,16 @@ func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int,
 	if err != nil {
 		return nil, err
 	}
+	// Resolve meta-engines (auto) to the engine that will actually run
+	// this circuit, so the report names the real execution path and the
+	// dispatch decision is made once, not per shot batch.
+	var noise *qx.NoiseModel
+	if s.Mode != openql.PerfectQubits {
+		noise = s.Noise
+	}
+	if d, ok := engine.(qx.Dispatcher); ok {
+		engine = d.Dispatch(compiled.Circuit, noise)
+	}
 	report := &Report{
 		Stack:    s.Name,
 		Mode:     s.Mode,
@@ -322,6 +338,7 @@ func (s *Stack) RunCompiled(compiled *openql.Compiled, logicalQubits, shots int,
 		Mapping:  compiled.MapResult,
 		Compile:  compiled.Report,
 		WallNs:   compiled.Schedule.Makespan * s.Platform.CycleTimeNs,
+		Engine:   engine.Name(),
 	}
 	parallel := shots >= s.parallelShotThreshold()
 	if s.Mode == openql.PerfectQubits {
@@ -458,6 +475,37 @@ func toLogical(res *qx.Result, logicalQubits int, mr *compiler.MapResult) *qx.Re
 			}
 		}
 		out.Counts[logical] += count
+	}
+	// Wide registers (more than 63 qubits, stabilizer-engine territory)
+	// carry bitstring-keyed counts; remap character-wise — qubit q is
+	// the (len-1-q)-th character. A wide physical register can still map
+	// to a narrow logical one, in which case the remap lands back in
+	// Counts.
+	for bits, count := range res.WideCounts {
+		logical := make([]byte, logicalQubits)
+		for l := 0; l < logicalQubits; l++ {
+			logical[logicalQubits-1-l] = '0'
+			p, ok := mr.MeasurePhys[l]
+			if !ok || p >= len(bits) {
+				continue
+			}
+			logical[logicalQubits-1-l] = bits[len(bits)-1-p]
+		}
+		if logicalQubits > 63 {
+			if out.WideCounts == nil {
+				out.WideCounts = map[string]int{}
+			}
+			out.WideCounts[string(logical)] += count
+			continue
+		}
+		idx := 0
+		for _, ch := range logical {
+			idx <<= 1
+			if ch == '1' {
+				idx |= 1
+			}
+		}
+		out.Counts[idx] += count
 	}
 	return out
 }

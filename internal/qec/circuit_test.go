@@ -1,0 +1,96 @@
+package qec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/qx"
+)
+
+func TestCycleCircuitIsClifford(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		sc, err := NewSurfaceCode(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := sc.CycleCircuit()
+		wantQubits := sc.NumDataQubits() + len(sc.zStabilizerIndices())
+		if c.NumQubits != wantQubits {
+			t.Errorf("d=%d: cycle circuit has %d qubits, want %d", d, c.NumQubits, wantQubits)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("d=%d: %v", d, err)
+		}
+		if !circuit.IsClifford(c) {
+			t.Errorf("d=%d: cycle circuit not recognised as Clifford", d)
+		}
+	}
+}
+
+// The qec experiment must be engine-independent: the stabilizer tableau
+// and the dense engines share the PRNG walk, so the seeded logical error
+// rate is bit-identical — the strongest possible differential evidence
+// that the fast path computes the same physics.
+func TestCircuitLogicalErrorRateEngineAgreement(t *testing.T) {
+	sc, _ := NewSurfaceCode(3)
+	const p, shots, seed = 0.04, 1500, 77
+	stab, err := sc.CircuitLogicalErrorRate(qx.Stabilizer(), p, shots, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := sc.CircuitLogicalErrorRate(qx.Optimized(), p, shots, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sc.CircuitLogicalErrorRate(qx.Reference(), p, shots, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stab != dense || stab != ref {
+		t.Errorf("seeded logical error rates diverge: stabilizer=%v optimized=%v reference=%v",
+			stab, dense, ref)
+	}
+}
+
+func TestCircuitLogicalErrorRateImprovesWithDistance(t *testing.T) {
+	const p, shots = 0.02, 4000
+	var prev = 1.0
+	for i, d := range []int{3, 5, 7} {
+		sc, _ := NewSurfaceCode(d)
+		rate, err := sc.CircuitLogicalErrorRate(qx.Stabilizer(), p, shots, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate >= prev {
+			t.Errorf("d=%d circuit-level rate %v not below d=%d rate %v", d, rate, d-2, prev)
+		}
+		prev = rate
+	}
+}
+
+// Distance-7 is the acceptance bar: 73 qubits, circuit-level noise,
+// comfortably under a second on the tableau engine — far beyond any
+// dense state-vector budget (2^73 amplitudes).
+func TestCircuitD7CycleFast(t *testing.T) {
+	sc, err := NewSurfaceCode(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rate, err := sc.CircuitLogicalErrorRate(qx.Stabilizer(), 0.03, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	budget := time.Second
+	if raceEnabled {
+		budget = 30 * time.Second
+	}
+	if elapsed > budget {
+		t.Errorf("d=7 circuit-level cycle took %v, want < %v", elapsed, budget)
+	}
+	if rate < 0 || rate > 0.5 {
+		t.Errorf("d=7 logical error rate %v out of range", rate)
+	}
+}

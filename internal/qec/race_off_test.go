@@ -1,0 +1,5 @@
+//go:build !race
+
+package qec
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package qec
+
+// raceEnabled relaxes wall-clock assertions under the race detector,
+// whose instrumentation slows execution by an order of magnitude.
+const raceEnabled = true

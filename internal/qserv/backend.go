@@ -239,11 +239,18 @@ func executeCompiled(stack *core.Stack, compiled *openql.Compiled, numQubits, sh
 	}
 	if espan != nil {
 		espan.SetAttr("shots", strconv.Itoa(shots))
+		// The engine that actually executed (auto dispatch resolved).
+		if rep.Engine != "" {
+			espan.SetAttr("engine", rep.Engine)
+		}
 		if rep.ExecNs > 0 {
 			// The engine's measured wall time, anchored so the span ends
 			// where the execute phase does.
 			d := time.Duration(rep.ExecNs)
 			eng := espan.ChildAt("engine", time.Now().Add(-d), d)
+			if rep.Engine != "" {
+				eng.SetAttr("engine", rep.Engine)
+			}
 			if res := rep.Result; res != nil && res.Batches > 0 {
 				eng.SetAttr("shot_batches", strconv.Itoa(res.Batches))
 			}

@@ -115,11 +115,22 @@
 //
 // Beneath every gate backend sits the pluggable qx execution-engine layer
 // rather than one hard-wired simulator. Config.Engine picks the engine
-// the stacks run on (the optimized dense engine by default), and each
-// job may override it through Request.Engine / the JSON "engine" field —
-// useful for differential debugging, since both bundled engines return
-// identical seeded counts. New engines registered with qx.RegisterEngine
-// become selectable here with no qserv changes.
+// the stacks run on — by default the "auto" meta-engine, which
+// dispatches each compiled circuit to the stabilizer tableau when it is
+// Clifford throughout and the backend noise model is stochastic Pauli
+// (polynomial cost, so 100-qubit Clifford jobs execute in milliseconds)
+// and to the optimized dense engine otherwise. Each job may override it
+// through Request.Engine / the JSON "engine" field — useful for
+// differential debugging, since all bundled engines return identical
+// seeded counts on circuits they share; an unknown name is rejected at
+// submit with a 400 listing qx.EngineNames. The engine that actually
+// ran — auto resolved to its dispatch target — surfaces as the job
+// view's "engine" field, an "engine" attribute on the execution span,
+// and the qserv_engine_dispatch_total{engine=...} counter, making the
+// Clifford fast-path hit rate directly observable. Counts for registers
+// wider than 63 qubits are rendered into the same bitstring-keyed
+// result map as narrow ones. New engines registered with
+// qx.RegisterEngine become selectable here with no qserv changes.
 //
 // Jobs with large shot counts (core.Stack.ParallelShots, default 4096)
 // execute as parallel shot batches: shots are split across CPU cores,

@@ -99,6 +99,11 @@ type JobView struct {
 	StartedAt    *time.Time `json:"started_at,omitempty"`
 	FinishedAt   *time.Time `json:"finished_at,omitempty"`
 	ElapsedMs    float64    `json:"elapsed_ms,omitempty"`
+	// Engine names the qx engine that executed the job's shots. With
+	// the "auto" meta-engine this is the resolved dispatch target
+	// (stabilizer for Clifford circuits under tableau-compatible noise,
+	// optimized otherwise).
+	Engine string `json:"engine,omitempty"`
 	// CompileReport is the per-pass account (wall time, gate count,
 	// depth, added SWAPs) of the compile pipeline behind a gate job's
 	// result; on a cache hit it describes the original compilation.
@@ -149,12 +154,18 @@ func viewJob(j *Job) JobView {
 		rv := &ResultView{}
 		if res.Report != nil {
 			v.CompileReport = res.Report.Compile
+			v.Engine = res.Report.Engine
 		}
 		if res.Report != nil && res.Report.Result != nil {
 			r := res.Report.Result
-			rv.Counts = make(map[string]int, len(r.Counts))
+			rv.Counts = make(map[string]int, len(r.Counts)+len(r.WideCounts))
 			for idx, c := range r.Counts {
 				rv.Counts[qx.BitString(idx, r.NumQubits)] = c
+			}
+			// Wide registers (>63 qubits, stabilizer engine) already key
+			// by bitstring.
+			for bits, c := range r.WideCounts {
+				rv.Counts[bits] = c
 			}
 			rv.Shots = r.Shots
 			rv.WallNs = res.Report.WallNs

@@ -37,12 +37,17 @@ type serviceMetrics struct {
 	calibReloads *obs.CounterVec // backend
 	compileSecs  *obs.HistogramVec
 	execSecs     *obs.HistogramVec
-	passSecs     *obs.HistogramVec // backend, pass
-	passRuns     *obs.CounterVec
-	passGatesIn  *obs.CounterVec
-	passGatesOut *obs.CounterVec
-	passSwaps    *obs.CounterVec
-	retireSecs   *obs.Histogram
+	// engineDispatch counts gate-job executions by the qx engine that
+	// actually ran them — with the "auto" meta-engine this is the
+	// resolved dispatch target (stabilizer vs optimized), making the
+	// Clifford fast-path hit rate directly observable.
+	engineDispatch *obs.CounterVec   // engine
+	passSecs       *obs.HistogramVec // backend, pass
+	passRuns       *obs.CounterVec
+	passGatesIn    *obs.CounterVec
+	passGatesOut   *obs.CounterVec
+	passSwaps      *obs.CounterVec
+	retireSecs     *obs.Histogram
 	// sessionsOpened/bindsTotal/bindSecs instrument the variational
 	// session layer: eager compiles pinned per session, and the bind
 	// fast path that patches the pinned artefact instead of compiling.
@@ -85,6 +90,8 @@ func newServiceMetrics(r *obs.Registry) *serviceMetrics {
 			"Wall time of full compile-pipeline runs (cache hits excluded).", lb, "backend"),
 		execSecs: r.NewHistogramVec("qserv_execute_seconds",
 			"Measured execution wall time per gate job.", lb, "backend"),
+		engineDispatch: r.NewCounterVec("qserv_engine_dispatch_total",
+			"Gate-job executions by the qx engine that ran them (auto resolves to its dispatch target).", "engine"),
 		passSecs: r.NewHistogramVec("qserv_compile_pass_seconds",
 			"Wall time per compiler pass run.", lb, "backend", "pass"),
 		passRuns: r.NewCounterVec("qserv_compile_pass_runs_total",

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -585,9 +586,93 @@ func TestHTTPEngineField(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	msg, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bogus engine submit status %d, want 400", resp.StatusCode)
+	}
+	// The rejection must name every valid choice so clients can self-serve.
+	for _, name := range qx.EngineNames() {
+		if !strings.Contains(string(msg), name) {
+			t.Errorf("400 body %q does not list engine %q", msg, name)
+		}
+	}
+}
+
+// The default engine is auto: a Clifford job submitted with no engine
+// override must be dispatched to the stabilizer engine, the resolved
+// target must surface in the job view and the dispatch counter, and a
+// non-Clifford job must fall back to the dense optimized engine.
+func TestAutoDispatchEndToEnd(t *testing.T) {
+	s := DefaultService(Config{Seed: 21}, 4, 1)
+	s.Start()
+	defer s.Stop()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	submit := func(src string) string {
+		t.Helper()
+		body, _ := json.Marshal(SubmitRequest{Name: "auto", CQASM: src,
+			Backend: "perfect", Shots: 64})
+		resp, err := http.Post(srv.URL+"/submit", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+		var v JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v.ID
+	}
+	engineOf := func(id string) string {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(srv.URL + "/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v JobView
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Status == StatusDone {
+				return v.Engine
+			}
+			if v.Status == StatusFailed || time.Now().After(deadline) {
+				t.Fatalf("job %s did not finish: %+v", id, v)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	if eng := engineOf(submit(bellCQASM)); eng != qx.EngineStabilizer {
+		t.Errorf("Clifford job ran on %q, want %q", eng, qx.EngineStabilizer)
+	}
+	tCQASM := "version 1.0\nqubits 1\nh q[0]\nt q[0]\nmeasure q[0]\n"
+	if eng := engineOf(submit(tCQASM)); eng != qx.EngineOptimized {
+		t.Errorf("non-Clifford job ran on %q, want %q", eng, qx.EngineOptimized)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`qserv_engine_dispatch_total{engine="stabilizer"} 1`,
+		`qserv_engine_dispatch_total{engine="optimized"} 1`,
+	} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/obs"
+	"repro/internal/qx"
 	"repro/internal/target"
 )
 
@@ -54,8 +55,13 @@ type Config struct {
 	// Seed is the base of the per-job seed derivation (default 1).
 	Seed int64
 	// Engine names the qx execution engine DefaultService configures the
-	// gate stacks with ("reference", "optimized"); empty uses the qx
-	// default. Individual jobs may still override it per request.
+	// gate stacks with ("auto", "stabilizer", "optimized", "reference");
+	// empty defaults to "auto", which dispatches each compiled circuit
+	// to the stabilizer tableau when it is Clifford with
+	// Clifford-compatible noise and to the optimized dense engine
+	// otherwise — identical seeded counts either way, only the
+	// asymptotics change. Individual jobs may still override it per
+	// request.
 	Engine string
 	// Passes is the compiler pass spec DefaultService configures the gate
 	// stacks with; empty uses the default pipeline. Individual jobs may
@@ -117,6 +123,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Engine == "" {
+		c.Engine = qx.EngineAuto
 	}
 	if c.SessionTTL == 0 {
 		c.SessionTTL = 15 * time.Minute
@@ -414,6 +423,11 @@ func (s *Service) runJob(p *backendPool, job *Job) {
 			// Execution always ran, cache hit or not.
 			if ns := res.Report.ExecNs; ns > 0 {
 				m.execSecs.ObserveSeconds(ns)
+			}
+			// The engine that actually ran the shots — auto dispatch
+			// resolved, so the Clifford fast-path hit rate is visible.
+			if eng := res.Report.Engine; eng != "" {
+				m.m.engineDispatch.With(eng).Inc()
 			}
 		}
 	}

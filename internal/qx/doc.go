@@ -10,7 +10,8 @@
 // configuration (noise model, fusion flag, PRNG) and delegates the actual
 // work to a pluggable Engine — the swappable execution layer the upper
 // layers of the stack (core.Stack, the micro-architecture, qserv) target
-// by interface rather than by implementation. Two engines ship:
+// by interface rather than by implementation. Three engines ship, plus a
+// dispatching meta-engine:
 //
 //   - "reference" (Reference): the naive dense engine — per-gate matrix
 //     materialisation, generic matrix application, linear-scan sampling.
@@ -21,13 +22,43 @@
 //     amplitudes chunk-parallel across goroutines on large states, and
 //     samples deterministic multi-shot runs through a cumulative
 //     distribution with binary search.
+//   - "stabilizer" (Stabilizer): an Aaronson–Gottesman CHP tableau —
+//     n destabilizer and n stabilizer generators as packed X/Z bit rows
+//     plus a sign — O(n) per Clifford gate and O(n²) per measurement,
+//     so cost is polynomial in qubit count where dense engines double
+//     per qubit. It executes only Clifford circuits (see below) and,
+//     with noise, only tableau-compatible models: stochastic Pauli
+//     channels — depolarizing, T2 dephasing, readout flips — are fine,
+//     amplitude damping (T1) is rejected because a non-unital channel
+//     has no stabilizer unravelling. Results for registers wider than
+//     63 qubits land in Result.WideCounts, keyed by bitstring.
+//   - "auto" (Auto): a Dispatcher that inspects each circuit at run
+//     time and picks Stabilizer when circuit.IsClifford holds and the
+//     noise model is CliffordCompatible, Optimized otherwise. Layers
+//     that want the report/metrics to name the real execution path
+//     (core.Stack, qserv) resolve the Dispatcher once before running.
 //
-// The two produce identical seeded counts — every optimized substitution
-// preserves measurement probabilities bit-for-bit — which the randomized
-// differential tests in engine_test.go enforce. Engine selection threads
-// through the whole stack: core.Stack.Engine (part of the stack
-// fingerprint), the qserv per-job "engine" field, and the -engine flags
-// of cmd/qx and cmd/qservd.
+// The Clifford classifier (circuit.CliffordDecompose / IsClifford)
+// recognises the structural Clifford gates (h, s, sdag, x, y, z, the
+// ±90° axis rotations, cnot, cz, swap, iswap) and any parameterised
+// rotation — rx, ry, rz, phase, u3, cphase, crz — whose angles are
+// exact multiples of π/2 (within CliffordAngleTol), decomposing each
+// into generator words over {H, S, S†, X, Y, Z, CNOT, CZ, SWAP}.
+// Measurement, measure_all, prep_z, feed-forward conditions, barriers
+// and classical display ops are all tableau-executable and do not break
+// Cliffordness; t, toffoli, fredkin and unbound symbolic angles do.
+//
+// All engines produce identical seeded counts on circuits they share:
+// the stabilizer engine draws from the PRNG at exactly the points the
+// dense walk does (one draw per measurement against p₁ ∈ {0, ½, 1}, the
+// same noise-channel draws, and support sampling that enumerates the
+// stabilizer state's support in the dense sampler's integer order), so
+// the randomized differential tests in engine_test.go enforce
+// bit-identical counts across all three engines on perfect, noisy and
+// feed-forward Clifford circuits. Engine selection threads through the
+// whole stack: core.Stack.Engine (part of the stack fingerprint), the
+// qserv per-job "engine" field (default auto), and the -engine flags of
+// cmd/qx and cmd/qservd.
 //
 // To add an engine, implement Engine (execute a validated circuit against
 // a dense state, consuming randomness only from the ExecEnv PRNG) and

@@ -59,6 +59,15 @@ const (
 	// amplitude application and O(log dim) cumulative sampling. Seeded
 	// counts are identical to the reference engine.
 	EngineOptimized = "optimized"
+	// EngineStabilizer is the Aaronson–Gottesman tableau engine for
+	// Clifford(+measurement) circuits: polynomial in qubit count, so GHZ,
+	// surface-code and RB workloads run at 100+ qubits. Seeded counts are
+	// identical to the dense engines on any circuit both can execute.
+	EngineStabilizer = "stabilizer"
+	// EngineAuto dispatches per circuit: the stabilizer tableau when the
+	// circuit is Clifford and the noise model is Clifford-compatible, the
+	// optimized dense engine otherwise.
+	EngineAuto = "auto"
 	// DefaultEngine is the engine used when none is selected.
 	DefaultEngine = EngineOptimized
 )
@@ -66,8 +75,10 @@ const (
 var (
 	engineMu       sync.RWMutex
 	engineRegistry = map[string]Engine{
-		EngineReference: referenceEngine{},
-		EngineOptimized: optimizedEngine{},
+		EngineReference:  referenceEngine{},
+		EngineOptimized:  optimizedEngine{},
+		EngineStabilizer: stabilizerEngine{},
+		EngineAuto:       autoEngine{},
 	}
 )
 
@@ -76,6 +87,23 @@ func Reference() Engine { return referenceEngine{} }
 
 // Optimized returns the optimized dense engine.
 func Optimized() Engine { return optimizedEngine{} }
+
+// Stabilizer returns the Clifford tableau engine.
+func Stabilizer() Engine { return stabilizerEngine{} }
+
+// Auto returns the dispatching meta-engine.
+func Auto() Engine { return autoEngine{} }
+
+// Dispatcher is implemented by meta-engines (the auto engine) that pick
+// a concrete engine per circuit. Callers that record or expose the
+// engine actually executing a workload — core.Stack's report, the qserv
+// span attributes and dispatch counter — resolve through this interface
+// before running.
+type Dispatcher interface {
+	// Dispatch returns the engine that will execute the circuit under
+	// the given noise model (nil means perfect execution).
+	Dispatch(c *circuit.Circuit, noise *NoiseModel) Engine
+}
 
 // RegisterEngine adds an engine under its Name for EngineByName lookup —
 // the extension point for alternative execution layers (sparse,

@@ -103,9 +103,16 @@ func TestEngineRegistry(t *testing.T) {
 	if _, err := EngineByName("warp-drive"); err == nil {
 		t.Error("unknown engine accepted")
 	}
+	if got := Stabilizer().Name(); got != EngineStabilizer {
+		t.Errorf("Stabilizer().Name() = %q", got)
+	}
+	if got := Auto().Name(); got != EngineAuto {
+		t.Errorf("Auto().Name() = %q", got)
+	}
 	names := EngineNames()
-	if len(names) < 2 || names[0] != EngineOptimized || names[1] != EngineReference {
-		t.Errorf("EngineNames() = %v", names)
+	want := []string{EngineAuto, EngineOptimized, EngineReference, EngineStabilizer}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("EngineNames() = %v, want %v", names, want)
 	}
 	if New(1).engine().Name() != DefaultEngine {
 		t.Errorf("New does not default to %q", DefaultEngine)

@@ -85,6 +85,18 @@ func (m *NoiseModel) dephasingLambda() float64 {
 	return (1 - math.Exp(-m.GateTimeNs*rate)) / 2
 }
 
+// CliffordCompatible reports whether every channel in the model maps
+// Pauli operators to Pauli operators, so a stochastic trajectory stays
+// inside the stabilizer formalism: depolarizing and dephasing inject
+// sampled Paulis and readout error flips classical bits, all fine, but
+// amplitude damping (a finite T1 with a gate time) applies a
+// non-unitary Kraus jump no tableau can represent. The stabilizer
+// engine rejects incompatible models; the auto engine dispatches them
+// to the dense path.
+func (m *NoiseModel) CliffordCompatible() bool {
+	return m.IsZero() || m.ampDampingGamma() == 0
+}
+
 // applyPauliError applies a uniformly random Pauli to qubit q with
 // probability p.
 func applyPauliError(s *quantum.State, q int, p float64, rng *rand.Rand) bool {

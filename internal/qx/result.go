@@ -14,6 +14,12 @@ type Result struct {
 	Shots     int
 	// Counts maps a measured basis-state index to its occurrence count.
 	Counts map[int]int
+	// WideCounts replaces Counts on registers too wide for an int index
+	// (more than 63 qubits — stabilizer-engine territory): keys are
+	// bitstrings with qubit 0 as the rightmost character, exactly the
+	// BitString rendering of narrow outcomes. Nil on narrow registers;
+	// when non-nil, Counts is empty.
+	WideCounts map[string]int
 	// GateErrorsInjected counts stochastic Pauli errors inserted by the
 	// noise model across all shots (diagnostic).
 	GateErrorsInjected int
@@ -34,22 +40,96 @@ func (r *Result) Probability(idx int) float64 {
 	return float64(r.Counts[idx]) / float64(r.Shots)
 }
 
+// Count returns the occurrence count of the outcome rendered as a
+// bitstring (qubit 0 rightmost), transparently reading Counts or
+// WideCounts. It is the register-width-independent accessor.
+func (r *Result) Count(bits string) int {
+	if r.WideCounts != nil {
+		return r.WideCounts[bits]
+	}
+	idx := 0
+	for _, ch := range bits {
+		idx <<= 1
+		if ch == '1' {
+			idx |= 1
+		}
+	}
+	return r.Counts[idx]
+}
+
+// ProbabilityOf returns the empirical probability of the outcome
+// rendered as a bitstring, on registers of any width.
+func (r *Result) ProbabilityOf(bits string) float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.Count(bits)) / float64(r.Shots)
+}
+
 // Top returns the k most frequent outcomes in descending order.
 func (r *Result) Top(k int) []Outcome {
-	out := make([]Outcome, 0, len(r.Counts))
-	for idx, c := range r.Counts {
-		out = append(out, Outcome{Index: idx, Count: c})
+	var out []Outcome
+	if r.WideCounts != nil {
+		out = make([]Outcome, 0, len(r.WideCounts))
+		for bs, c := range r.WideCounts {
+			out = append(out, Outcome{Bits: bs, Count: c})
+		}
+	} else {
+		out = make([]Outcome, 0, len(r.Counts))
+		for idx, c := range r.Counts {
+			out = append(out, Outcome{Index: idx, Bits: BitString(idx, r.NumQubits), Count: c})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
 		}
-		return out[i].Index < out[j].Index
+		return out[i].Bits < out[j].Bits
 	})
 	if k < len(out) {
 		out = out[:k]
 	}
 	return out
+}
+
+// countWords tallies one outcome delivered as packed register words.
+func (r *Result) countWords(words []uint64) {
+	if r.WideCounts != nil {
+		r.WideCounts[wordsBitString(words, r.NumQubits)]++
+		return
+	}
+	r.Counts[int(words[0])]++
+}
+
+// countBits tallies one outcome delivered as a measured-bits map.
+func (r *Result) countBits(bits map[int]int) {
+	if r.WideCounts != nil {
+		words := make([]uint64, (r.NumQubits+63)/64)
+		for q, b := range bits {
+			if b == 1 {
+				words[q>>6] |= 1 << (uint(q) & 63)
+			}
+		}
+		r.WideCounts[wordsBitString(words, r.NumQubits)]++
+		return
+	}
+	idx := 0
+	for q, b := range bits {
+		if b == 1 {
+			idx |= 1 << uint(q)
+		}
+	}
+	r.Counts[idx]++
+}
+
+// wordsBitString renders packed register words as an n-character
+// bitstring with qubit 0 rightmost, matching BitString.
+func wordsBitString(words []uint64, n int) string {
+	buf := make([]byte, n)
+	for q := 0; q < n; q++ {
+		buf[n-1-q] = '0' + byte((words[q>>6]>>(uint(q)&63))&1)
+	}
+	return string(buf)
 }
 
 // Best returns the most frequent outcome index.
@@ -63,9 +143,12 @@ func (r *Result) Best() int {
 	return best
 }
 
-// Outcome is one (basis state, count) pair.
+// Outcome is one (basis state, count) pair. Index is meaningful only on
+// registers of at most 63 qubits; Bits is always the bitstring
+// rendering (qubit 0 rightmost).
 type Outcome struct {
 	Index int
+	Bits  string
 	Count int
 }
 
@@ -78,8 +161,12 @@ func BitString(idx, n int) string {
 // Histogram renders the result as sorted "bitstring: count" lines.
 func (r *Result) Histogram() string {
 	var b strings.Builder
-	for _, o := range r.Top(len(r.Counts)) {
-		fmt.Fprintf(&b, "%s: %d (%.3f)\n", BitString(o.Index, r.NumQubits), o.Count, r.Probability(o.Index))
+	n := len(r.Counts)
+	if r.WideCounts != nil {
+		n = len(r.WideCounts)
+	}
+	for _, o := range r.Top(n) {
+		fmt.Fprintf(&b, "%s: %d (%.3f)\n", o.Bits, o.Count, r.ProbabilityOf(o.Bits))
 	}
 	return b.String()
 }

@@ -185,6 +185,12 @@ func (s *Simulator) RunParallel(c *circuit.Circuit, shots, workers int) (*Result
 		for idx, count := range results[w].Counts {
 			merged.Counts[idx] += count
 		}
+		for bits, count := range results[w].WideCounts {
+			if merged.WideCounts == nil {
+				merged.WideCounts = map[string]int{}
+			}
+			merged.WideCounts[bits] += count
+		}
 		merged.GateErrorsInjected += results[w].GateErrorsInjected
 	}
 	merged.ElapsedNs = time.Since(start).Nanoseconds()
