@@ -1,8 +1,14 @@
 # Tier-1 verification for the repro module. `make ci` mirrors the CI
-# workflow step for step — gofmt, vet, staticcheck, race tests, the
-# target-coverage gate and the bench smoke — so local verification
+# workflow step for step — gofmt, vet, staticcheck, qlint, race tests,
+# the target-coverage gate and the bench smoke — so local verification
 # catches everything the workflow does. Its first step (build) is the
 # guard that keeps the go.mod regression from recurring.
+#
+# `make lint` runs the repo's own analyzers (cmd/qlint): map-iteration
+# determinism, Stack fingerprint completeness, the shared-PRNG-walk
+# contract and obs span lifecycles. See internal/lint for the invariant
+# docs. staticcheck is pinned once, in tools/go.mod (a nested tool
+# module, so the main module never resolves tool code).
 
 GO ?= go
 BENCH_COUNT ?= 5
@@ -10,7 +16,6 @@ BENCH_TOLERANCE ?= 0.20
 OBS_OVERHEAD_CEILING ?= 5
 PARAM_BIND_CEILING ?= 10
 STAB_VS_DENSE_CEILING ?= 1
-STATICCHECK_VERSION ?= 2025.1.1
 
 # The bench-baseline/bench-gate recipes pipe `go test` into benchgate;
 # without pipefail a failing benchmark run would exit 0 through the pipe
@@ -19,7 +24,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build fmt vet staticcheck test race bench bench-smoke bench-baseline bench-gate cover metrics-smoke vuln ci
+.PHONY: all build fmt vet staticcheck lint test race bench bench-smoke bench-baseline bench-gate cover metrics-smoke vuln ci
 
 all: ci
 
@@ -35,10 +40,22 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Correctness-class staticcheck analyses (SA*); needs network to fetch
-# the tool on first run.
-staticcheck:
-	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -checks 'SA*' ./...
+# Correctness-class staticcheck analyses (SA*). The version is pinned by
+# the `tool` directive in tools/go.mod — the single pin site. The first
+# run needs network to populate tools/go.sum and fetch the module; the
+# built binary is cached under bin/ after that.
+staticcheck: bin/staticcheck
+	./bin/staticcheck -checks 'SA*' ./...
+
+bin/staticcheck: tools/go.mod
+	@[ -f tools/go.sum ] || (cd tools && $(GO) mod tidy)
+	cd tools && $(GO) build -o ../bin/staticcheck honnef.co/go/tools/cmd/staticcheck
+
+# The repo's own invariant analyzers (see internal/lint): detmap,
+# fpfields, rngwalk, spanend. Pure stdlib — no network needed. Fails
+# with file:line:col diagnostics on any violation.
+lint:
+	$(GO) run ./cmd/qlint ./...
 
 test:
 	$(GO) test ./...
@@ -77,8 +94,10 @@ bench-gate:
 			-ceiling stabilizer_vs_dense_pct=$(STAB_VS_DENSE_CEILING)
 
 # Coverage gates on the layers every other layer builds on: the
-# device/target contract, the observability primitives and the qx
-# engine suite with its stabilizer fast path (mirrors the CI step).
+# device/target contract, the observability primitives, the qx engine
+# suite with its stabilizer fast path, and the qlint analyzer suite
+# (mirrors the CI step). The lint gate aggregates over the whole
+# internal/lint tree — the analyzer fixtures exercise the framework.
 cover:
 	$(GO) test -coverprofile=target.cov ./internal/target
 	$(GO) tool cover -func=target.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/target coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/target coverage " $$3 "%"}'
@@ -86,6 +105,8 @@ cover:
 	$(GO) tool cover -func=obs.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/obs coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/obs coverage " $$3 "%"}'
 	$(GO) test -coverprofile=qx.cov ./internal/qx
 	$(GO) tool cover -func=qx.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/qx coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/qx coverage " $$3 "%"}'
+	$(GO) test -coverprofile=lint.cov -coverpkg=./internal/lint/... ./internal/lint/...
+	$(GO) tool cover -func=lint.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/lint coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/lint coverage " $$3 "%"}'
 
 # End-to-end scrape smoke: boot qservd, submit a job over HTTP, then
 # verify /metrics serves Prometheus exposition with the job counters,
@@ -118,4 +139,4 @@ metrics-smoke:
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: build fmt vet staticcheck race cover bench-smoke metrics-smoke
+ci: build fmt vet staticcheck lint race cover bench-smoke metrics-smoke

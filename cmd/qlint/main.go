@@ -1,0 +1,99 @@
+// Command qlint runs the repo's custom analyzers (internal/lint) over
+// the requested packages and exits non-zero when any invariant is
+// violated. It is the machine-checked half of the determinism, cache
+// and tracing contracts documented in the internal/lint package doc.
+//
+// Usage:
+//
+//	go run ./cmd/qlint ./...
+//	go run ./cmd/qlint ./internal/qx ./internal/qserv
+//
+// Diagnostics print one per line as file:line:col: analyzer: message.
+// With -list, the analyzers and their one-line docs are printed instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/detmap"
+	"repro/internal/lint/fpfields"
+	"repro/internal/lint/rngwalk"
+	"repro/internal/lint/spanend"
+)
+
+var analyzers = []*lint.Analyzer{
+	detmap.Analyzer,
+	fpfields.Analyzer,
+	rngwalk.Analyzer,
+	spanend.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: qlint [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the repo invariant analyzers over the given package patterns\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "(default ./...). Exits 1 when any diagnostic is reported.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, az := range analyzers {
+			fmt.Printf("%-10s %s\n", az.Name, firstLine(az.Doc))
+		}
+		return
+	}
+
+	run := analyzers
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, az := range analyzers {
+			byName[az.Name] = az
+		}
+		run = nil
+		for _, name := range strings.Split(*only, ",") {
+			az, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "qlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			run = append(run, az)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(loader, patterns, run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "qlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

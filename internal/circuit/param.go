@@ -286,7 +286,14 @@ func (c *Circuit) Bind(vals map[string]float64) (*Circuit, error) {
 	for _, s := range syms {
 		need[s] = true
 	}
+	// Check bindings in sorted order so the reported unknown symbol is
+	// deterministic when several are unknown at once.
+	given := make([]string, 0, len(vals))
 	for s := range vals {
+		given = append(given, s)
+	}
+	sort.Strings(given)
+	for _, s := range given {
 		if !need[s] {
 			return nil, fmt.Errorf("circuit %q: binding for unknown symbol %q", c.Name, s)
 		}

@@ -1,6 +1,8 @@
 package circuit
 
 import (
+	"sort"
+
 	"repro/internal/quantum"
 )
 
@@ -29,12 +31,13 @@ func Lookup(name string) (Spec, bool) {
 	return s, ok
 }
 
-// Names returns the registered gate names (unordered).
+// Names returns the registered gate names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

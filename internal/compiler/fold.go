@@ -9,9 +9,11 @@ import (
 // FoldRotations merges z-axis rotations separated by gates they commute
 // with — a commutation-aware optimisation strictly stronger than the
 // peephole rotation merge, which stops at the first intervening gate on
-// the same qubit. An rz commutes with every computational-basis-diagonal
-// gate on its qubit (z, s, t, rz, cz, cphase, crz and their inverses) and
-// with a CNOT that uses the qubit as control, so patterns like
+// the same qubit. Commutation is driven by zCommutationTable: an rz
+// commutes with every computational-basis-diagonal gate on its qubit
+// (z, s, t, rz, cz, cphase, crz and their inverses) and with a
+// controlled gate that uses the qubit as a control (cnot, toffoli,
+// fredkin), so patterns like
 //
 //	rz q[0]; cnot q[0], q[1]; rz q[0]
 //
@@ -75,27 +77,52 @@ func FoldRotations(c *circuit.Circuit) *circuit.Circuit {
 	return out
 }
 
-// zDiagonalGates are unitaries diagonal in the computational basis: they
-// commute with rz on any of their qubits.
-var zDiagonalGates = map[string]bool{
-	"i": true, "z": true, "s": true, "sdag": true, "t": true, "tdag": true,
-	"rz": true, "phase": true, "cz": true, "cphase": true, "crz": true,
+// zCommute describes on which operand positions a unitary gate commutes
+// with a z-rotation: either everywhere (the gate is diagonal in the
+// computational basis) or on its leading control operands (the gate is
+// block-diagonal there — |0⟩⟨0|⊗I + |1⟩⟨1|⊗U, so any z-diagonal phase
+// on a control passes through).
+type zCommute struct {
+	all      bool // diagonal: commutes with rz on every operand
+	controls int  // otherwise: the first `controls` operands are controls
+}
+
+// zCommutationTable is the gate-commutation table the fold pass consults.
+// A gate absent from the table conservatively commutes nowhere. New
+// registry gates that are diagonal or control-diagonal extend the fold's
+// reach by adding one entry here — no pass logic changes.
+var zCommutationTable = map[string]zCommute{
+	// Diagonal in the computational basis.
+	"i": {all: true}, "z": {all: true},
+	"s": {all: true}, "sdag": {all: true},
+	"t": {all: true}, "tdag": {all: true},
+	"rz": {all: true}, "phase": {all: true},
+	"cz": {all: true}, "cphase": {all: true}, "crz": {all: true},
+	// Control-diagonal: diagonal on the control operand(s) only.
+	"cnot":    {controls: 1},
+	"toffoli": {controls: 2},
+	"fredkin": {controls: 1},
 }
 
 // commutesWithRZ reports whether gate o commutes with an rz on qubit q
-// (o is known to touch q). Non-unitary operations never commute here:
-// folding a phase across a measurement would change the post-measurement
-// state seen by later gates.
+// (o is known to touch q), per the commutation table. Non-unitary
+// operations never commute here: folding a phase across a measurement
+// would change the post-measurement state seen by later gates.
 func commutesWithRZ(o circuit.Gate, q int) bool {
 	if !o.IsUnitary() {
 		return false
 	}
-	if zDiagonalGates[o.Name] {
+	zc, ok := zCommutationTable[o.Name]
+	if !ok {
+		return false
+	}
+	if zc.all {
 		return true
 	}
-	// CNOT is diagonal on its control: |0⟩⟨0|⊗I + |1⟩⟨1|⊗X.
-	if o.Name == "cnot" && o.Qubits[0] == q {
-		return true
+	for i := 0; i < zc.controls && i < len(o.Qubits); i++ {
+		if o.Qubits[i] == q {
+			return true
+		}
 	}
 	return false
 }

@@ -313,6 +313,7 @@ func greedyPlacement(c *circuit.Circuit, topo *topology.Topology) []int {
 		// lowest partner id so placement is deterministic — map iteration
 		// order must never leak into routing results.
 		bestPartner, bestCount := -1, 0
+		//qlint:nondeterministic-ok order-independent: strict count ordering with lowest-partner-id tie-break yields one winner regardless of iteration order
 		for pair, count := range inter {
 			var other int
 			switch l {

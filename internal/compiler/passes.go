@@ -4,7 +4,10 @@ package compiler
 // the hard-wired compiler, each wrapped as a registry entry so pipelines
 // can reorder, repeat or omit them per compilation.
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 func init() {
 	// decompose, optimize and fold-rotations are platform-generic: their
@@ -54,7 +57,14 @@ func runFoldRotations(ctx *PassContext) error {
 func mapOptionsFrom(base MapOptions, o PassOptions, allowStrategy bool) (MapOptions, string, error) {
 	opts := base
 	strategy := "hop"
+	// Validate keys in sorted order so the reported unknown option is
+	// deterministic when a spec carries several.
+	keys := make([]string, 0, len(o))
 	for key := range o {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
 		switch key {
 		case "placement", "lookahead", "window":
 		case "strategy":

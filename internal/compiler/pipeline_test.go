@@ -165,6 +165,25 @@ func TestFoldRotationsAcrossCNOTControl(t *testing.T) {
 	}
 }
 
+func TestFoldRotationsAcrossToffoliControls(t *testing.T) {
+	// The commutation table marks both toffoli operands 0 and 1 as
+	// controls: rz on either folds across; rz on the target must not.
+	for _, q := range []int{0, 1} {
+		c := circuit.New("tof", 3).RZ(q, 0.3).Toffoli(0, 1, 2).RZ(q, 0.4)
+		out := FoldRotations(c)
+		if out.GateCount("rz") != 1 {
+			t.Fatalf("rz on toffoli control %d not folded: %s", q, out)
+		}
+		if !circuitUnitary(out).EqualUpToPhase(circuitUnitary(c), 1e-9) {
+			t.Errorf("folding across toffoli control %d changed the unitary", q)
+		}
+	}
+	c := circuit.New("toftgt", 3).RZ(2, 0.3).Toffoli(0, 1, 2).RZ(2, 0.4)
+	if out := FoldRotations(c); out.GateCount("rz") != 2 {
+		t.Fatalf("fold merged across a toffoli target: %s", out)
+	}
+}
+
 func TestFoldRotationsBlockedByTarget(t *testing.T) {
 	// rz on the CNOT *target* does not commute — folding must not merge.
 	c := circuit.New("block", 2).RZ(1, 0.3).CNOT(0, 1).RZ(1, 0.4)

@@ -202,7 +202,15 @@ func (s *Schedule) Validate(p *Platform) error {
 			perQubit[q] = append(perQubit[q], interval{sg.Cycle, sg.Cycle + sg.Duration, i})
 		}
 	}
-	for q, ivs := range perQubit {
+	// Check qubits in sorted order so the reported overlap is
+	// deterministic when several qubits have one.
+	qubits := make([]int, 0, len(perQubit))
+	for q := range perQubit {
+		qubits = append(qubits, q)
+	}
+	sort.Ints(qubits)
+	for _, q := range qubits {
+		ivs := perQubit[q]
 		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
 		for i := 1; i < len(ivs); i++ {
 			if ivs[i].start < ivs[i-1].end {

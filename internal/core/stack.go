@@ -20,13 +20,21 @@ import (
 )
 
 // Stack is one configured full-stack target.
+//
+// Every field either feeds the fingerprint methods (Fingerprint /
+// CompileFingerprint / PrefixFingerprint, which key the compile caches)
+// or carries an explicit `fp:"-"` tag recording that it affects
+// execution only, never compiled artefacts. The fpfields qlint analyzer
+// enforces this: adding a field without folding it into a fingerprint
+// or tagging it is a lint error, so a compile-relevant field can never
+// silently alias cache keys.
 type Stack struct {
 	Name      string
 	Mode      openql.QubitMode
 	Platform  *compiler.Platform
-	Microcode *microarch.Config // nil for perfect-qubit stacks
-	Noise     *qx.NoiseModel    // nil for perfect qubits
-	Seed      int64
+	Microcode *microarch.Config `fp:"-"` // drives eQASM execution, not compilation; nil for perfect-qubit stacks
+	Noise     *qx.NoiseModel    `fp:"-"` // applied by the simulator at run time; nil for perfect qubits
+	Seed      int64             `fp:"-"` // seeds execution PRNGs; compiled artefacts are seed-independent
 	// Optimize and Policy configure the compiler.
 	Optimize bool
 	Policy   compiler.Policy
@@ -45,30 +53,30 @@ type Stack struct {
 	// runs stay deterministic per (seed, core count) but draw different
 	// PRNG streams than serial runs, so tests pinning exact counts should
 	// stay below the threshold or disable it.
-	ParallelShots int
+	ParallelShots int `fp:"-"`
 	// KernelWorkers caps the simulator's amplitude-kernel parallelism per
 	// run (0 = machine-sized, 1 = serial). Services executing many jobs
 	// concurrently set this so per-job kernel goroutines do not multiply
 	// with their worker pools.
-	KernelWorkers int
+	KernelWorkers int `fp:"-"`
 	// CompileWorkers bounds how many of a program's kernels compile
 	// concurrently through the pipeline's platform-generic prefix
 	// (decompose/optimize/fold-rotations); mapping and scheduling always
 	// run once over the concatenated program. 0 or 1 compiles serially.
 	// Deliberately excluded from the fingerprints: parallel and serial
 	// compilations produce identical artefacts.
-	CompileWorkers int
+	CompileWorkers int `fp:"-"`
 	// CompileGate, when non-nil, additionally bounds kernel-compile
 	// parallelism across concurrent compilations service-wide — qserv
 	// shares one gate sized to its worker budget across all backends.
 	// Excluded from the fingerprints for the same reason.
-	CompileGate compiler.WorkerGate
+	CompileGate compiler.WorkerGate `fp:"-"`
 	// PrefixCache, when non-nil, caches platform-generic prefix
 	// artefacts across compiles (level 1 of the two-level compile
 	// cache); see PrefixFingerprint for what keys it. Cached artefacts
 	// never change compiled output, so this too stays out of the
 	// fingerprints.
-	PrefixCache compiler.PrefixCache
+	PrefixCache compiler.PrefixCache `fp:"-"`
 }
 
 // DefaultParallelShots is the parallel-shot-batch threshold used when
@@ -463,6 +471,7 @@ func toLogical(res *qx.Result, logicalQubits int, mr *compiler.MapResult) *qx.Re
 		Counts:             map[int]int{},
 		GateErrorsInjected: res.GateErrorsInjected,
 	}
+	//qlint:nondeterministic-ok order-independent: commutative += accumulation into a fresh map; rendering sorts
 	for idx, count := range res.Counts {
 		logical := 0
 		for l := 0; l < logicalQubits; l++ {
@@ -481,6 +490,7 @@ func toLogical(res *qx.Result, logicalQubits int, mr *compiler.MapResult) *qx.Re
 	// the (len-1-q)-th character. A wide physical register can still map
 	// to a narrow logical one, in which case the remap lands back in
 	// Counts.
+	//qlint:nondeterministic-ok order-independent: commutative += accumulation into fresh maps; rendering sorts
 	for bits, count := range res.WideCounts {
 		logical := make([]byte, logicalQubits)
 		for l := 0; l < logicalQubits; l++ {

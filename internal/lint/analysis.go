@@ -1,0 +1,119 @@
+// Package lint is qlint's analyzer framework: a self-contained,
+// standard-library-only mirror of the golang.org/x/tools/go/analysis
+// API (Analyzer, Pass, Diagnostic) plus the package loader and driver
+// that run analyzers over the module. The x/tools module is not a
+// dependency of this repo, so the framework re-implements the small
+// slice of its surface the analyzers need; analyzers are written
+// against the same shapes (an Analyzer with a Run func receiving a
+// Pass), which keeps a future migration to the real module mechanical.
+//
+// # Enforced invariants
+//
+// The suite machine-checks the repo's cross-layer contracts — the
+// invariants that generic linters (vet, staticcheck) cannot see because
+// they are properties of this codebase, not of Go:
+//
+//   - detmap: deterministic compilation. `for … range` over a map in a
+//     determinism-critical package is flagged unless the keys are
+//     collected and sorted first, because map iteration order would
+//     leak into compiled artefacts, cache keys or API responses.
+//     Escape hatch: //qlint:nondeterministic-ok on (or directly above)
+//     the range statement, for provably order-independent loops.
+//   - fpfields: cache-key completeness. Every core.Stack field must be
+//     read by a fingerprint method or opt out with an fp:"-" struct
+//     tag, so a new compilation-relevant field cannot silently alias
+//     compile-cache keys.
+//   - rngwalk: PRNG parity. Inside internal/qx all randomness must flow
+//     from the Simulator seed through ExecEnv.Rng and the shared noise/
+//     sampling helpers; private PRNGs or global math/rand draws would
+//     break the bit-identical seeded-counts contract across engines.
+//   - spanend: span lifecycle. An obs span started with StartChild must
+//     be Ended on every return path of the function that created it
+//     (lostcancel-style), or the trace tree serves in-flight spans
+//     forever. Escape hatch: //qlint:span-ok.
+//
+// Directive comments all share the //qlint:<name> form. A directive
+// exempts the line it sits on and the line directly below it, so both
+// trailing and preceding-line placement work.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named check. It mirrors analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-paragraph description printed by qlint -help.
+	Doc string
+	// Run applies the analyzer to one package. The result value is
+	// unused by this driver (kept for API parity).
+	Run func(*Pass) (any, error)
+}
+
+// A Pass connects an Analyzer to one type-checked package. It mirrors
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+
+	directives map[int][]string // line -> directive names, lazily built
+}
+
+// A Diagnostic is one finding, anchored to a position. It mirrors
+// analysis.Diagnostic.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// directivePrefix is the comment prefix shared by every qlint escape
+// hatch.
+const directivePrefix = "//qlint:"
+
+// Exempted reports whether a //qlint:<name> directive covers the line
+// of pos: the directive's own line (trailing comment) or the line
+// directly above (preceding comment).
+func (p *Pass) Exempted(pos token.Pos, name string) bool {
+	if p.directives == nil {
+		p.directives = map[int][]string{}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, directivePrefix)
+					if !ok {
+						continue
+					}
+					// Directive name ends at the first space; the rest
+					// is free-form rationale.
+					dname, _, _ := strings.Cut(text, " ")
+					line := p.Fset.Position(c.Pos()).Line
+					p.directives[line] = append(p.directives[line], dname)
+					p.directives[line+1] = append(p.directives[line+1], dname)
+				}
+			}
+		}
+	}
+	line := p.Fset.Position(pos).Line
+	for _, d := range p.directives[line] {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+// Package detmap implements the qlint analyzer guarding the repo's
+// deterministic-compilation contract: in determinism-critical packages,
+// `for … range` over a map is flagged unless the loop only collects the
+// keys/values into slices that are subsequently sorted, or the range
+// carries a //qlint:nondeterministic-ok directive vouching that the
+// loop is order-independent (pure accumulation into another map, a sum,
+// a max with a total tie-break).
+//
+// Map iteration order is randomised per run; anything it leaks into —
+// compiled artefacts, canonical JSON, cache keys, API response bodies,
+// error messages listing alternatives — becomes nondeterministic with
+// it. PR 4 shipped exactly this bug in the compiler's greedyPlacement;
+// detmap makes the class unshippable.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Packages is the determinism-critical scope: the compiler (artefacts
+// must be byte-identical across runs), target (canonical JSON and
+// content hashes), qx (sampling and result rendering), qserv (API
+// views and stats), core (fingerprints), openql (canonical program
+// text and bind tables), circuit (canonicalisation and registries) and
+// obs (metrics exposition). Tests may override it to point at
+// fixtures.
+var Packages = []string{
+	"repro/internal/compiler",
+	"repro/internal/target",
+	"repro/internal/qx",
+	"repro/internal/qserv",
+	"repro/internal/core",
+	"repro/internal/openql",
+	"repro/internal/circuit",
+	"repro/internal/obs",
+}
+
+// Analyzer flags map iteration whose order can escape in
+// determinism-critical packages.
+var Analyzer = &lint.Analyzer{
+	Name: "detmap",
+	Doc: "flags `for … range` over maps in determinism-critical packages " +
+		"unless the keys are collected and sorted, or the loop is marked " +
+		"//qlint:nondeterministic-ok",
+	Run: run,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	if pass.Pkg == nil || !lint.InScope(pass.Pkg.Path(), Packages) {
+		return nil, nil
+	}
+	lint.Functions(pass.Files, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+		lint.WalkBody(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Exempted(rs.Pos(), "nondeterministic-ok") {
+				return true
+			}
+			if collectsAndSorts(pass, body, rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over map %s in determinism-critical package %s: "+
+				"iteration order escapes; collect and sort the keys first, or annotate the loop "+
+				"//qlint:nondeterministic-ok with a rationale if it is order-independent",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), pass.Pkg.Path())
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// collectsAndSorts recognises the blessed iteration idiom: every
+// statement in the range body appends to local slices, and at least one
+// of those slices is later passed to a sort or slices call in the same
+// function. The loop then observes map order only transiently; the sort
+// erases it before anything downstream can.
+func collectsAndSorts(pass *lint.Pass, body *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	var targets []types.Object
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs := rootIdent(as.Lhs[0])
+		if lhs == nil {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return false
+		}
+		obj := pass.TypesInfo.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		targets = append(targets, obj)
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	sorted := false
+	lint.WalkBody(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsAny(pass, arg, targets) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// rootIdent resolves an append target to its root identifier: a plain
+// local (`out`) or the receiver under a field selector (`t` in
+// `t.symbols = append(t.symbols, s)`). The sort check then matches any
+// expression mentioning that object — slightly coarse for selector
+// targets, but the pattern "append to a field, sort another field"
+// does not occur in practice.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsAny reports whether the expression references any of the
+// objects (directly or inside a conversion/composite).
+func mentionsAny(pass *lint.Pass, e ast.Expr, objs []types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if o := pass.TypesInfo.ObjectOf(id); o != nil {
+			for _, t := range objs {
+				if o == t {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

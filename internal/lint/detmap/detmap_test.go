@@ -1,0 +1,23 @@
+package detmap
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintest"
+)
+
+func TestDetmapFixture(t *testing.T) {
+	saved := Packages
+	Packages = []string{"detmapfix"}
+	defer func() { Packages = saved }()
+	lintest.Run(t, Analyzer, "testdata/src/detmapfix", "detmapfix")
+}
+
+func TestDetmapOutOfScope(t *testing.T) {
+	saved := Packages
+	Packages = []string{"somewhere/else"}
+	defer func() { Packages = saved }()
+	// The same fixture full of violations must report nothing when the
+	// package is not determinism-critical.
+	lintest.RunExpectClean(t, Analyzer, "testdata/src/detmapfix", "detmapfix")
+}

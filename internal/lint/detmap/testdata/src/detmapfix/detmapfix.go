@@ -1,0 +1,104 @@
+// Package detmapfix is the detmap analyzer fixture: map ranges that
+// leak iteration order (flagged), the collect-and-sort idiom and the
+// escape hatch (both clean), and non-map ranges (ignored).
+package detmapfix
+
+import "sort"
+
+type kv struct {
+	K string
+	V int
+}
+
+// Bad leaks map order into the returned slice: the loop filters, so it
+// is not the pure collect idiom, and nothing sorts the output.
+func Bad(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `range over map map\[string\]int`
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// BadValues leaks order through values as much as keys do.
+func BadValues(m map[int]string) string {
+	s := ""
+	for _, v := range m { // want `range over map`
+		s += v
+	}
+	return s
+}
+
+// GoodSortedKeys is the blessed idiom: collect, sort, use.
+func GoodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSortSlice collects pairs and sorts with a comparator.
+func GoodSortSlice(m map[string]int) []kv {
+	var out []kv
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+// GoodAnnotated is order-independent accumulation, vouched for by the
+// escape hatch.
+func GoodAnnotated(m map[string]int) int {
+	total := 0
+	//qlint:nondeterministic-ok commutative sum over values
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodTrailingAnnotation exercises same-line directive placement.
+func GoodTrailingAnnotation(m map[string]int) int {
+	n := 0
+	for range m { //qlint:nondeterministic-ok pure count
+		n++
+	}
+	return n
+}
+
+// GoodSliceRange ranges over a slice — never flagged.
+func GoodSliceRange(s []string) string {
+	out := ""
+	for _, v := range s {
+		out += v
+	}
+	return out
+}
+
+// BadCollectNoSort collects keys but never sorts them, so the collect
+// idiom does not apply.
+func BadCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// BadNamedMap flags named map types too.
+type counts map[string]int
+
+func BadNamedMap(c counts) int {
+	worst := 0
+	for _, v := range c { // want `range over map`
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

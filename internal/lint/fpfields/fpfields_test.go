@@ -1,0 +1,33 @@
+package fpfields
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintest"
+)
+
+func withFixture(t *testing.T, pkgs []string, fn func()) {
+	t.Helper()
+	saved := Packages
+	Packages = pkgs
+	defer func() { Packages = saved }()
+	fn()
+}
+
+func TestFpfieldsFixture(t *testing.T) {
+	withFixture(t, []string{"fpfix"}, func() {
+		lintest.Run(t, Analyzer, "testdata/src/fpfix", "fpfix")
+	})
+}
+
+func TestFpfieldsMissingMethods(t *testing.T) {
+	withFixture(t, []string{"fpnone"}, func() {
+		lintest.Run(t, Analyzer, "testdata/src/fpnone", "fpnone")
+	})
+}
+
+func TestFpfieldsOutOfScope(t *testing.T) {
+	withFixture(t, []string{"somewhere/else"}, func() {
+		lintest.RunExpectClean(t, Analyzer, "testdata/src/fpfix", "fpfix")
+	})
+}

@@ -1,0 +1,45 @@
+// Package fpfix is the fpfields fixture: a Stack whose fingerprint
+// methods cover some fields, miss one (flagged — the synthetic
+// compilation-relevant field added without a fingerprint mention),
+// honour fp:"-" opt-outs, and carry one stale opt-out (flagged).
+package fpfix
+
+import "fmt"
+
+// Stack mirrors the shape of core.Stack for the cache-key check.
+type Stack struct {
+	Name   string
+	Passes string
+	Engine string
+	// Lookahead is compilation-relevant but missing from every
+	// fingerprint — the cache-poisoning bug class.
+	Lookahead int // want `field Stack\.Lookahead appears in no fingerprint method`
+	// Workers is execution tuning, correctly opted out.
+	Workers int `fp:"-"`
+	// Stale is fingerprinted AND opted out — the tag lies.
+	Stale string `fp:"-"` // want `field Stack\.Stale is tagged fp:"-" but a fingerprint method reads it`
+	// cache is unexported but still subject to the contract.
+	cache map[string]string `fp:"-"`
+}
+
+// Fingerprint covers Engine and Stale directly and everything
+// CompileFingerprint covers transitively.
+func (s *Stack) Fingerprint() string {
+	return s.CompileFingerprint() + "|" + s.Engine + s.Stale
+}
+
+// CompileFingerprint covers Name and the pass spec via a helper method.
+func (s *Stack) CompileFingerprint() string {
+	return fmt.Sprintf("%s|%s", s.Name, s.passSpec())
+}
+
+// passSpec is a non-fingerprint receiver method reached from one: the
+// fields it reads count as covered.
+func (s *Stack) passSpec() string { return s.Passes }
+
+// Reset writes fields outside any fingerprint; reads here must not
+// count as coverage.
+func (s *Stack) Reset() {
+	s.Lookahead = 0
+	s.Workers = 0
+}

@@ -1,0 +1,13 @@
+// Package fpnone is the fpfields degenerate fixture: the configured
+// struct exists but none of the fingerprint methods do, so the
+// completeness check cannot run — itself a finding, or renaming a
+// fingerprint method would silently disable the analyzer.
+package fpnone
+
+// Stack has no fingerprint methods at all.
+type Stack struct { // want `struct Stack has none of the fingerprint methods`
+	Name string
+}
+
+// Hash is not one of the configured fingerprint methods.
+func (s *Stack) Hash() string { return s.Name }

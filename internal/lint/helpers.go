@@ -1,0 +1,49 @@
+package lint
+
+import "go/ast"
+
+// Functions yields every function body in the files: declarations
+// (with their *ast.FuncDecl) and function literals (decl == nil).
+// Nested literals are yielded as their own units, so analyzers that
+// reason about control flow within "one function" can treat each body
+// independently.
+func Functions(files []*ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n, n.Body)
+				}
+			case *ast.FuncLit:
+				fn(nil, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// WalkBody walks a function body without descending into nested
+// function literals (those are separate Functions units).
+func WalkBody(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return visit(n)
+	})
+}
+
+// InScope reports whether pkgPath matches any of the configured package
+// paths exactly.
+func InScope(pkgPath string, packages []string) bool {
+	for _, p := range packages {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}

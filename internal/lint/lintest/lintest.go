@@ -1,0 +1,166 @@
+// Package lintest is qlint's analysistest: it loads a fixture package
+// from a testdata directory, runs one analyzer over it, and compares
+// the diagnostics against `// want` comments in the fixture source.
+//
+// A want comment holds one regular expression per expected diagnostic
+// on its line, backquoted or double-quoted:
+//
+//	for k := range m { // want `range over map`
+//	x := rand.New(rand.NewSource(1)) // want `rand\.New ` `rand\.NewSource`
+//
+// Lines with findings but no matching want, and wants with no matching
+// finding, both fail the test — exactly analysistest's contract.
+package lintest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var argRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture package rooted at dir under the given import
+// path, applies the analyzer, and reports every mismatch between its
+// diagnostics and the fixture's want comments.
+func Run(t *testing.T, az *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Extra = map[string]string{importPath: abs}
+	findings, err := lint.Run(l, []string{importPath}, []*lint.Analyzer{az})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		got[k] = append(got[k], f.Message)
+	}
+	wants, err := parseWants(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, patterns := range wants {
+		msgs := got[k]
+		for _, pat := range patterns {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", k.file, k.line, pat, err)
+			}
+			idx := -1
+			for i, m := range msgs {
+				if re.MatchString(m) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", k.file, k.line, pat, msgs)
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		if len(msgs) > 0 {
+			t.Errorf("%s:%d: unexpected diagnostics beyond wants: %v", k.file, k.line, msgs)
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		t.Errorf("%s:%d: unexpected diagnostics: %v", k.file, k.line, msgs)
+	}
+}
+
+// RunExpectClean loads the fixture and asserts the analyzer reports
+// nothing, ignoring want comments — how scope/config negatives are
+// tested (the same violation-rich fixture must go quiet when out of
+// scope).
+func RunExpectClean(t *testing.T, az *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Extra = map[string]string{importPath: abs}
+	findings, err := lint.Run(l, []string{importPath}, []*lint.Analyzer{az})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected diagnostic: %s", f)
+	}
+}
+
+// parseWants scans the fixture files for want comments, keyed by
+// (file, line).
+func parseWants(dir string) (map[struct {
+	file string
+	line int
+}][]string, error) {
+	type key = struct {
+		file string
+		line int
+	}
+	out := map[key][]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := argRe.FindAllString(m[1], -1)
+			if len(args) == 0 {
+				return nil, fmt.Errorf("%s:%d: want comment without quoted patterns", path, i+1)
+			}
+			for _, a := range args {
+				pat, err := unquoteArg(a)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", path, i+1, err)
+				}
+				k := key{path, i + 1}
+				out[k] = append(out[k], pat)
+			}
+		}
+	}
+	return out, nil
+}
+
+func unquoteArg(a string) (string, error) {
+	if strings.HasPrefix(a, "`") {
+		return strings.Trim(a, "`"), nil
+	}
+	return strconv.Unquote(a)
+}

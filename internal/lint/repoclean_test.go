@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/detmap"
+	"repro/internal/lint/fpfields"
+	"repro/internal/lint/rngwalk"
+	"repro/internal/lint/spanend"
+)
+
+// TestRepoIsLintClean runs every qlint analyzer over the whole module
+// and requires zero findings — the same gate `make lint` applies, kept
+// inside the test suite so a violation fails `go test ./...` even on a
+// machine that never runs make. New violations must be fixed or carry
+// an explicit //qlint:... annotation with a rationale.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	analyzers := []*lint.Analyzer{
+		detmap.Analyzer,
+		fpfields.Analyzer,
+		rngwalk.Analyzer,
+		spanend.Analyzer,
+	}
+	findings, err := lint.Run(l, []string{"./..."}, analyzers)
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}

@@ -1,0 +1,21 @@
+package rngwalk
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintest"
+)
+
+func TestRngwalkFixture(t *testing.T) {
+	saved := Packages
+	Packages = []string{"rngfix"}
+	defer func() { Packages = saved }()
+	lintest.Run(t, Analyzer, "testdata/src/rngfix", "rngfix")
+}
+
+func TestRngwalkOutOfScope(t *testing.T) {
+	saved := Packages
+	Packages = []string{"somewhere/else"}
+	defer func() { Packages = saved }()
+	lintest.RunExpectClean(t, Analyzer, "testdata/src/rngfix", "rngfix")
+}

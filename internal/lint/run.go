@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one resolved diagnostic: an analyzer name plus a
+// position rendered against the loader's file set.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run loads every package and applies every analyzer, returning the
+// findings sorted by position then analyzer name. A package that fails
+// to load aborts the run: analyzers must not report against a broken
+// type graph.
+func Run(l *Loader, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	paths, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, az := range analyzers {
+			pass := &Pass{
+				Analyzer:  az,
+				Fset:      l.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: az.Name,
+					Pos:      l.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := az.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", az.Name, path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

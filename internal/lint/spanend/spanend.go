@@ -1,0 +1,411 @@
+// Package spanend implements the qlint analyzer guarding the obs span
+// lifecycle: a span acquired from Span.StartChild/StartChildAt (and the
+// root of a trace from Tracer.Start/StartAt) must be Ended on every
+// return path of the function that created it — the lostcancel shape.
+// A span that leaks stays in-flight forever: the trace endpoint serves
+// it with duration 0, and latency accounting built on the span tree
+// under-reports the phase.
+//
+// The analyzer tracks spans held in plain locals. A span that escapes
+// the function — stored in a struct or another variable, passed as an
+// argument, returned, or captured by a closure — transfers its
+// lifecycle elsewhere and is not checked (the qserv job spans, closed
+// at job-finish time, all take this shape). `defer x.End()` anywhere in
+// the function satisfies the check. Escape hatch: //qlint:span-ok on
+// the acquisition line.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Configuration. Tests may retarget the package holding the span types;
+// fixtures normally just import the real obs package.
+var (
+	// ObsPath is the package defining Span and Tracer.
+	ObsPath = "repro/internal/obs"
+	// StartMethods are the acquisition methods returning a live span
+	// (ChildAt returns an already-closed span and is exempt).
+	StartMethods = map[string]bool{"StartChild": true, "StartChildAt": true, "Start": true, "StartAt": true}
+	// EndMethods close a span (or, via Root().End*, a trace).
+	EndMethods = map[string]bool{"End": true, "EndAt": true}
+)
+
+// Analyzer reports spans not ended on all return paths.
+var Analyzer = &lint.Analyzer{
+	Name: "spanend",
+	Doc: "verifies every obs span from Tracer.Start/Span.StartChild is Ended " +
+		"on all return paths of the acquiring function (lostcancel-style)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	if pass.Pkg == nil || pass.Pkg.Path() == ObsPath {
+		// The obs package itself constructs and stores spans freely.
+		return nil, nil
+	}
+	lint.Functions(pass.Files, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+		checkBody(pass, body)
+	})
+	return nil, nil
+}
+
+// checkBody finds span acquisitions in one function body and runs the
+// all-paths check for each non-escaping one.
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	lint.WalkBody(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if !isStartCall(pass, as.Rhs[0]) {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return true
+		}
+		if pass.Exempted(as.Pos(), "span-ok") {
+			return true
+		}
+		if escapes(pass, body, obj) {
+			return true
+		}
+		if deferredEnd(pass, body, obj) {
+			return true
+		}
+		list, idx := enclosingList(body, as)
+		if list == nil {
+			return true
+		}
+		c := &checker{pass: pass, obj: obj, name: id.Name, acquired: as.Pos()}
+		ended, terminated := c.walk(list[idx+1:], false)
+		// Falling off the end of the function body without ending the
+		// span leaks it just like an early return does. Only the
+		// function's top-level list proves fall-through reaches the
+		// function end; nested lists flow into code this walker does
+		// not see, so they stay silent.
+		if !terminated && !ended && sameList(body.List, list) {
+			pass.Reportf(as.Pos(), "span %s is not ended on the fall-through path: "+
+				"add %s.End() before the function returns or defer it at acquisition", c.name, c.name)
+		}
+		return true
+	})
+}
+
+// isStartCall reports whether the expression is a call to one of the
+// obs acquisition methods.
+func isStartCall(pass *lint.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !StartMethods[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == ObsPath
+}
+
+// escapes reports whether the span object is used in any way other
+// than as the receiver of a method call or a comparison operand:
+// stored, passed, returned or captured uses hand the End
+// responsibility to someone this function cannot see.
+func escapes(pass *lint.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	escaped := false
+	// parent-tracked walk: maintain a stack to classify each use site.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if _, ok := n.(*ast.FuncLit); ok && len(stack) > 1 {
+			// A closure referencing the span captures it.
+			captured := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					captured = true
+				}
+				return !captured
+			})
+			if captured {
+				escaped = true
+			}
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		// Receiver position — x.Method(...) — keeps ownership here, and
+		// a comparison (`if x != nil`) only inspects the pointer;
+		// everything else escapes.
+		if len(stack) >= 2 {
+			if _, ok := stack[len(stack)-2].(*ast.BinaryExpr); ok {
+				return true
+			}
+		}
+		if len(stack) >= 3 {
+			if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.X == id {
+				if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
+					return true
+				}
+			}
+		}
+		escaped = true
+		return false
+	}
+	ast.Inspect(body, visit)
+	return escaped
+}
+
+// deferredEnd reports whether the function defers an End on the span —
+// directly (`defer x.End()`); closures were already classed as escapes.
+func deferredEnd(pass *lint.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	lint.WalkBody(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isEndCall(pass, ds.Call, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isEndCall reports whether the call ends the tracked object: a call to
+// an End method whose receiver chain is rooted at the object (covers
+// both span.End() and trace.Root().EndAt(t)).
+func isEndCall(pass *lint.Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !EndMethods[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != ObsPath {
+		return false
+	}
+	return rootIdentIs(pass, sel.X, obj)
+}
+
+// rootIdentIs walks selector/call chains to the leftmost identifier.
+func rootIdentIs(pass *lint.Pass, e ast.Expr, obj types.Object) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x] == obj
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// enclosingList finds the statement list directly containing stmt.
+func enclosingList(body *ast.BlockStmt, stmt ast.Stmt) ([]ast.Stmt, int) {
+	var list []ast.Stmt
+	idx := -1
+	lint.WalkBody(body, func(n ast.Node) bool {
+		if idx >= 0 {
+			return false
+		}
+		var stmts []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			stmts = b.List
+		case *ast.CaseClause:
+			stmts = b.Body
+		case *ast.CommClause:
+			stmts = b.Body
+		default:
+			return true
+		}
+		for i, s := range stmts {
+			if s == stmt {
+				list, idx = stmts, i
+				return false
+			}
+		}
+		return true
+	})
+	if idx < 0 {
+		return nil, -1
+	}
+	return list, idx
+}
+
+func sameList(a, b []ast.Stmt) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// checker runs the conservative all-paths walk: every return statement
+// reachable after acquisition must be preceded by an End on its path.
+type checker struct {
+	pass     *lint.Pass
+	obj      types.Object
+	name     string
+	acquired token.Pos
+}
+
+// walk interprets a statement list with the given "already ended"
+// state. It returns the state at fall-through and whether the list
+// terminates (returns/panics on every path it models).
+func (c *checker) walk(stmts []ast.Stmt, ended bool) (endedOut, terminated bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if isEndCall(c.pass, call, c.obj) {
+					ended = true
+				} else if isTerminalCall(c.pass, call) {
+					return ended, true
+				}
+			}
+		case *ast.ReturnStmt:
+			if !ended {
+				c.pass.Reportf(s.Pos(), "return without ending span %s (started at %s): "+
+					"the span stays in-flight forever; call %s.End() on this path or defer it",
+					c.name, c.pass.Fset.Position(c.acquired), c.name)
+			}
+			return ended, true
+		case *ast.IfStmt:
+			ended, terminated = c.walkIf(s, ended)
+			if terminated {
+				return ended, true
+			}
+		case *ast.BlockStmt:
+			var term bool
+			ended, term = c.walk(s.List, ended)
+			if term {
+				return ended, true
+			}
+		case *ast.ForStmt:
+			// The body may run zero times: diagnose paths inside, but
+			// carry the pre-loop state forward.
+			c.walk(s.Body.List, ended)
+		case *ast.RangeStmt:
+			c.walk(s.Body.List, ended)
+		case *ast.SwitchStmt:
+			ended = c.walkCases(s.Body, ended)
+		case *ast.TypeSwitchStmt:
+			ended = c.walkCases(s.Body, ended)
+		case *ast.SelectStmt:
+			ended = c.walkCases(s.Body, ended)
+		case *ast.LabeledStmt:
+			var term bool
+			ended, term = c.walk([]ast.Stmt{s.Stmt}, ended)
+			if term {
+				return ended, true
+			}
+		case *ast.BranchStmt:
+			// break/continue/goto leave this list; the jump target is
+			// outside the model, so stay silent about it.
+			return ended, true
+		case *ast.GoStmt, *ast.DeferStmt, *ast.DeclStmt, *ast.AssignStmt,
+			*ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+			// No control transfer, no End (an End buried in an
+			// assignment RHS is not a shape this repo uses).
+		}
+	}
+	return ended, false
+}
+
+// walkIf merges the two branches of an if statement.
+func (c *checker) walkIf(s *ast.IfStmt, ended bool) (endedOut, terminated bool) {
+	thenEnded, thenTerm := c.walk(s.Body.List, ended)
+	elseEnded, elseTerm := ended, false
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		elseEnded, elseTerm = c.walk(e.List, ended)
+	case *ast.IfStmt:
+		elseEnded, elseTerm = c.walkIf(e, ended)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return ended, true
+	case thenTerm:
+		return elseEnded, false
+	case elseTerm:
+		return thenEnded, false
+	default:
+		return thenEnded && elseEnded, false
+	}
+}
+
+// walkCases conservatively merges switch/select clauses: the state
+// becomes "ended" only when a default clause exists and every clause
+// ends the span (or terminates).
+func (c *checker) walkCases(body *ast.BlockStmt, ended bool) bool {
+	hasDefault := false
+	allEnd := true
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+			if cl.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cl.Body
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+		default:
+			continue
+		}
+		clEnded, clTerm := c.walk(stmts, ended)
+		if !clEnded && !clTerm {
+			allEnd = false
+		}
+	}
+	return ended || (hasDefault && allEnd)
+}
+
+// isTerminalCall recognises calls that never return: panic and os.Exit.
+func isTerminalCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok &&
+				pn.Imported().Path() == "os" && fun.Sel.Name == "Exit" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package spanend
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintest"
+)
+
+func TestSpanendFixture(t *testing.T) {
+	lintest.Run(t, Analyzer, "testdata/src/spanfix", "spanfix")
+}
+
+// TestSpanendSkipsObs verifies the analyzer stays silent inside the obs
+// package itself, which constructs and stores spans as its job.
+func TestSpanendSkipsObs(t *testing.T) {
+	saved := ObsPath
+	ObsPath = "spanfix"
+	defer func() { ObsPath = saved }()
+	lintest.RunExpectClean(t, Analyzer, "testdata/src/spanfix", "spanfix")
+}

@@ -1,0 +1,159 @@
+// Package spanfix is the spanend fixture: spans leaked on early-return
+// and fall-through paths (flagged), spans ended on all paths, deferred
+// ends, escaping spans and the escape hatch (all clean). It imports the
+// real obs package, so the analyzer's type matching runs against the
+// production span API.
+package spanfix
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+func fail() bool { return false }
+
+func work() {}
+
+// badEarlyReturn leaks the span on the error path.
+func badEarlyReturn(parent *obs.Span) error {
+	sp := parent.StartChild("phase")
+	if fail() {
+		return errors.New("boom") // want `return without ending span sp`
+	}
+	sp.End()
+	return nil
+}
+
+// badFallthrough never ends the span at all.
+func badFallthrough(parent *obs.Span) {
+	sp := parent.StartChild("phase") // want `span sp is not ended on the fall-through path`
+	sp.SetAttr("k", "v")
+	work()
+}
+
+// badTraceRoot tracks Tracer.Start the same way.
+func badTraceRoot(tr *obs.Tracer) {
+	t := tr.Start("id", "job") // want `span t is not ended on the fall-through path`
+	t.Root().SetAttr("k", "v")
+	work()
+}
+
+// goodAllPaths ends on both the early return and the fall-through.
+func goodAllPaths(parent *obs.Span) error {
+	sp := parent.StartChild("phase")
+	if fail() {
+		sp.End()
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// goodDefer registers the end up front.
+func goodDefer(parent *obs.Span) {
+	sp := parent.StartChild("phase")
+	defer sp.End()
+	work()
+}
+
+// goodReturnEscape hands the open span to the caller.
+func goodReturnEscape(parent *obs.Span) *obs.Span {
+	sp := parent.StartChild("phase")
+	return sp
+}
+
+// goodFieldEscape stores the span; the job lifecycle closes it.
+type job struct{ span *obs.Span }
+
+func goodFieldEscape(parent *obs.Span, j *job) {
+	sp := parent.StartChild("phase")
+	j.span = sp
+}
+
+// goodArgEscape passes the span on; the callee shares the lifecycle.
+func goodArgEscape(parent *obs.Span) {
+	sp := parent.StartChild("phase")
+	decorate(sp)
+	sp.End()
+}
+
+func decorate(sp *obs.Span) { sp.SetAttr("k", "v") }
+
+// goodAnnotated is vouched for by the escape hatch.
+func goodAnnotated(parent *obs.Span) {
+	sp := parent.StartChild("phase") //qlint:span-ok closed by the shutdown path
+	work()
+	_ = sp
+}
+
+// goodNilCheck compares the span without escaping it.
+func goodNilCheck(parent *obs.Span) {
+	sp := parent.StartChild("phase")
+	if sp != nil {
+		sp.SetAttr("k", "v")
+	}
+	sp.End()
+}
+
+// goodTraceRoot ends the trace through its root span.
+func goodTraceRoot(tr *obs.Tracer) {
+	t := tr.Start("id", "job")
+	work()
+	t.Root().End()
+}
+
+// goodPanicPath treats panic as termination, not a leak.
+func goodPanicPath(parent *obs.Span) {
+	sp := parent.StartChild("phase")
+	if fail() {
+		panic("boom")
+	}
+	sp.End()
+}
+
+// goodSwitchAllEnd ends in every clause including default.
+func goodSwitchAllEnd(parent *obs.Span, n int) {
+	sp := parent.StartChild("phase")
+	switch n {
+	case 0:
+		sp.End()
+	default:
+		sp.End()
+	}
+}
+
+// badSwitchMissingDefault cannot prove the span ends: no default
+// clause, so the switch may fall through un-ended.
+func badSwitchMissingDefault(parent *obs.Span, n int) {
+	sp := parent.StartChild("phase") // want `span sp is not ended on the fall-through path`
+	switch n {
+	case 0:
+		sp.End()
+	}
+}
+
+// badReturnInLoop leaks on the in-loop return path.
+func badReturnInLoop(parent *obs.Span, xs []int) int {
+	sp := parent.StartChild("phase")
+	for _, x := range xs {
+		if x > 0 {
+			return x // want `return without ending span sp`
+		}
+	}
+	sp.End()
+	return 0
+}
+
+// goodChildAt needs no End: ChildAt grafts an already-closed span.
+func goodChildAt(parent *obs.Span) {
+	_ = parent
+}
+
+// goodClosure captures the span in a deferred closure — an escape, so
+// responsibility leaves the checker's model.
+func goodClosure(parent *obs.Span) {
+	sp := parent.StartChild("phase")
+	defer func() { sp.End() }()
+	work()
+}

@@ -110,6 +110,7 @@ func (c *flightCache[V]) clear() {
 	// Detach live entries from the old list first: an in-flight
 	// computation that later fails must not Remove a stale element from
 	// the re-init'd list (list.Remove would corrupt its length).
+	//qlint:nondeterministic-ok order-independent: detaches every entry identically; no output depends on visit order
 	for _, e := range c.entries {
 		e.elem = nil
 	}

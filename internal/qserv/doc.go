@@ -282,4 +282,12 @@
 // -compile-workers size the new layer), can serve any device JSON file
 // as an extra backend via -target, and adds -metrics, -trace-ring,
 // -pprof and the -log-* flags for the observability layer.
+//
+// Two of this package's contracts are machine-checked by the qlint
+// analyzer suite (internal/lint, run by `make lint` and CI): detmap
+// keeps map iteration order out of API responses, /stats rows, logs and
+// eviction decisions, and spanend verifies every obs span the service
+// starts is ended on all return paths. Loops that are provably
+// order-independent carry //qlint:nondeterministic-ok annotations with
+// their rationale.
 package qserv

@@ -159,11 +159,13 @@ func viewJob(j *Job) JobView {
 		if res.Report != nil && res.Report.Result != nil {
 			r := res.Report.Result
 			rv.Counts = make(map[string]int, len(r.Counts)+len(r.WideCounts))
+			//qlint:nondeterministic-ok order-independent: key-preserving copy into a map; encoding/json sorts keys on render
 			for idx, c := range r.Counts {
 				rv.Counts[qx.BitString(idx, r.NumQubits)] = c
 			}
 			// Wide registers (>63 qubits, stabilizer engine) already key
 			// by bitstring.
+			//qlint:nondeterministic-ok order-independent: key-preserving copy into a map; encoding/json sorts keys on render
 			for bits, c := range r.WideCounts {
 				rv.Counts[bits] = c
 			}

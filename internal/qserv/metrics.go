@@ -220,16 +220,21 @@ func (p *poolMetrics) passStats() []PassStats {
 		return nil
 	}
 	p.mu.Lock()
+	names := make([]string, 0, len(p.passes))
 	handles := make(map[string]*passHandles, len(p.passes))
+	//qlint:nondeterministic-ok order-independent: key-preserving snapshot copy under lock; names are sorted below
 	for name, h := range p.passes {
+		names = append(names, name)
 		handles[name] = h
 	}
 	p.mu.Unlock()
 	if len(handles) == 0 {
 		return nil
 	}
+	sort.Strings(names)
 	out := make([]PassStats, 0, len(handles))
-	for name, h := range handles {
+	for _, name := range names {
+		h := handles[name]
 		runs := h.dur.Count()
 		ps := PassStats{
 			Pass:       name,
@@ -247,7 +252,6 @@ func (p *poolMetrics) passStats() []PassStats {
 		}
 		out = append(out, ps)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pass < out[j].Pass })
 	return out
 }
 

@@ -299,8 +299,15 @@ func (s *Service) sweepSessionsLocked(now time.Time) {
 	if s.cfg.SessionTTL <= 0 {
 		return
 	}
-	for id, ss := range s.sessions {
-		lastUsed, _ := ss.usage()
+	// Sweep in sorted id order so the expiry log lines come out in a
+	// reproducible sequence.
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		lastUsed, _ := s.sessions[id].usage()
 		if now.Sub(lastUsed) > s.cfg.SessionTTL {
 			delete(s.sessions, id)
 			s.sessExpired++
@@ -314,9 +321,12 @@ func (s *Service) sweepSessionsLocked(now time.Time) {
 func (s *Service) evictLRUSessionLocked() {
 	var victim string
 	var oldest time.Time
+	//qlint:nondeterministic-ok order-independent: strict lastUsed ordering with lowest-id tie-break yields one victim regardless of iteration order
 	for id, ss := range s.sessions {
 		lastUsed, _ := ss.usage()
-		if victim == "" || lastUsed.Before(oldest) {
+		// Tie-break equal timestamps on the id so the evicted session does
+		// not depend on map iteration order.
+		if victim == "" || lastUsed.Before(oldest) || (lastUsed.Equal(oldest) && id < victim) {
 			victim, oldest = id, lastUsed
 		}
 	}

@@ -92,4 +92,12 @@
 // *NoiseModel is only read, and the package-level gate matrices and the
 // circuit registry are immutable after init. A *Result is returned
 // exclusively to its caller.
+//
+// The seeded-determinism contract — bit-identical counts across engines
+// for a fixed seed — is machine-checked by the qlint analyzer suite
+// (internal/lint, run by `make lint` and CI): rngwalk forbids global
+// math/rand draws, private PRNG construction outside New/RunParallel,
+// and direct PRNG draws inside Engine methods (all randomness flows
+// from the Simulator seed through ExecEnv.Rng and the shared helpers);
+// detmap keeps map iteration order out of results and samplers.
 package qx

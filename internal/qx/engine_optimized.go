@@ -67,6 +67,7 @@ func (optimizedEngine) Run(c *circuit.Circuit, shots int, env *ExecEnv) (*Result
 			// Readout error was already applied per measurement gate;
 			// unmeasured qubits are never read out, so no register-wide
 			// flip pass here.
+			//qlint:nondeterministic-ok order-independent: ORs disjoint bits into an index; any visit order builds the same mask
 			for q, b := range bits {
 				if b == 1 {
 					idx |= 1 << uint(q)

@@ -105,6 +105,7 @@ func (r *Result) countWords(words []uint64) {
 func (r *Result) countBits(bits map[int]int) {
 	if r.WideCounts != nil {
 		words := make([]uint64, (r.NumQubits+63)/64)
+		//qlint:nondeterministic-ok order-independent: ORs disjoint bits into packed words; any visit order builds the same mask
 		for q, b := range bits {
 			if b == 1 {
 				words[q>>6] |= 1 << (uint(q) & 63)
@@ -114,6 +115,7 @@ func (r *Result) countBits(bits map[int]int) {
 		return
 	}
 	idx := 0
+	//qlint:nondeterministic-ok order-independent: ORs disjoint bits into an index; any visit order builds the same mask
 	for q, b := range bits {
 		if b == 1 {
 			idx |= 1 << uint(q)
@@ -135,6 +137,7 @@ func wordsBitString(words []uint64, n int) string {
 // Best returns the most frequent outcome index.
 func (r *Result) Best() int {
 	best, bestCount := 0, -1
+	//qlint:nondeterministic-ok order-independent: strict count ordering with lowest-index tie-break yields one winner regardless of iteration order
 	for idx, c := range r.Counts {
 		if c > bestCount || (c == bestCount && idx < best) {
 			best, bestCount = idx, c

@@ -3,6 +3,7 @@ package qx
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -182,9 +183,11 @@ func (s *Simulator) RunParallel(c *circuit.Circuit, shots, workers int) (*Result
 		if errs[w] != nil {
 			return nil, errs[w]
 		}
+		//qlint:nondeterministic-ok order-independent: commutative integer += into the merged map
 		for idx, count := range results[w].Counts {
 			merged.Counts[idx] += count
 		}
+		//qlint:nondeterministic-ok order-independent: commutative integer += into the merged map
 		for bits, count := range results[w].WideCounts {
 			if merged.WideCounts == nil {
 				merged.WideCounts = map[string]int{}
@@ -211,9 +214,17 @@ func (s *Simulator) SampleExpectation(c *circuit.Circuit, shots int, f func(idx 
 	if err != nil {
 		return 0, err
 	}
+	// Accumulate in sorted index order: float addition is not
+	// associative, so summing in map order would wobble the low bits of
+	// the estimate between runs of the same seed.
+	idxs := make([]int, 0, len(res.Counts))
+	for idx := range res.Counts {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
 	var acc float64
-	for idx, count := range res.Counts {
-		acc += f(idx) * float64(count)
+	for _, idx := range idxs {
+		acc += f(idx) * float64(res.Counts[idx])
 	}
 	return acc / float64(res.Shots), nil
 }

@@ -73,8 +73,15 @@ func (d *Device) Validate() error {
 		return fmt.Errorf("target: device %q topology size %d != qubits %d",
 			d.Name, d.Topology.N, d.NumQubits)
 	}
-	for name, g := range d.Gates {
-		if g.DurationCycles < 0 {
+	// Check gates in sorted order so the reported offender is
+	// deterministic when several have negative durations.
+	names := make([]string, 0, len(d.Gates))
+	for name := range d.Gates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if d.Gates[name].DurationCycles < 0 {
 			return fmt.Errorf("target: device %q gate %q has negative duration", d.Name, name)
 		}
 	}
@@ -99,6 +106,7 @@ func (d *Device) Clone() *Device {
 	}
 	if d.Gates != nil {
 		out.Gates = make(map[string]GateSpec, len(d.Gates))
+		//qlint:nondeterministic-ok order-independent: key-preserving copy into a fresh map
 		for k, v := range d.Gates {
 			out.Gates[k] = v
 		}

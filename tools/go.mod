@@ -1,0 +1,13 @@
+// Tool dependencies, pinned once. This nested module exists so `go
+// build ./...` of the main module never resolves (or downloads) tool
+// code, while `make staticcheck` still builds the exact pinned version.
+// staticcheck 2025.1.1 is honnef.co/go/tools v0.6.1; bump the require
+// below (and run `go mod tidy` here) to move the pin — it is the only
+// pin site, shared by the Makefile and CI.
+module repro/tools
+
+go 1.24
+
+tool honnef.co/go/tools/cmd/staticcheck
+
+require honnef.co/go/tools v0.6.1
