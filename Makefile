@@ -1,8 +1,14 @@
 # Tier-1 verification for the repro module. `make ci` mirrors the CI
 # workflow step for step — gofmt, vet, staticcheck, qlint, race tests,
-# the target-coverage gate and the bench smoke — so local verification
-# catches everything the workflow does. Its first step (build) is the
-# guard that keeps the go.mod regression from recurring.
+# the coverage gates, the bench smoke and the load-harness smoke — so
+# local verification catches everything the workflow does. Its first
+# step (build) is the guard that keeps the go.mod regression from
+# recurring.
+#
+# Load-harness targets: `make load-smoke` is the fast PR gate (one
+# scenario, one seed, byte-reproducibility check, negative control);
+# `make load-gate` runs the full scenario matrix at 3 seeds with the
+# BLIS directional-consistency verdict — the nightly CI job.
 #
 # `make lint` runs the repo's own analyzers (cmd/qlint): map-iteration
 # determinism, Stack fingerprint completeness, the shared-PRNG-walk
@@ -24,7 +30,7 @@ STAB_VS_DENSE_CEILING ?= 1
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build fmt vet staticcheck lint test race bench bench-smoke bench-baseline bench-gate cover metrics-smoke vuln ci
+.PHONY: all build fmt vet staticcheck lint test race bench bench-smoke bench-baseline bench-gate cover metrics-smoke load-smoke load-gate vuln ci
 
 all: ci
 
@@ -95,18 +101,23 @@ bench-gate:
 
 # Coverage gates on the layers every other layer builds on: the
 # device/target contract, the observability primitives, the qx engine
-# suite with its stabilizer fast path, and the qlint analyzer suite
-# (mirrors the CI step). The lint gate aggregates over the whole
-# internal/lint tree — the analyzer fixtures exercise the framework.
+# suite with its stabilizer fast path, the loadgen scenario harness and
+# the qlint analyzer suite (mirrors the CI step). COVER_PKGS drives one
+# loop over the per-package gates; the lint gate stays special-cased
+# because its profile aggregates over the whole internal/lint tree —
+# the analyzer fixtures exercise the framework.
+COVER_PKGS ?= target obs qx loadgen
+COVER_FLOOR ?= 80.0
+COVER_AWK = /^total:/ {sub(/%/,"",$$3); if ($$3+0 < floor) {print pkg " coverage " $$3 "% is below the " floor "% gate"; exit 1} else print pkg " coverage " $$3 "%"}
+
 cover:
-	$(GO) test -coverprofile=target.cov ./internal/target
-	$(GO) tool cover -func=target.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/target coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/target coverage " $$3 "%"}'
-	$(GO) test -coverprofile=obs.cov ./internal/obs
-	$(GO) tool cover -func=obs.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/obs coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/obs coverage " $$3 "%"}'
-	$(GO) test -coverprofile=qx.cov ./internal/qx
-	$(GO) tool cover -func=qx.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/qx coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/qx coverage " $$3 "%"}'
+	@for pkg in $(COVER_PKGS); do \
+		$(GO) test -coverprofile=$$pkg.cov ./internal/$$pkg || exit 1; \
+		$(GO) tool cover -func=$$pkg.cov \
+			| awk -v pkg=internal/$$pkg -v floor=$(COVER_FLOOR) '$(COVER_AWK)' || exit 1; \
+	done
 	$(GO) test -coverprofile=lint.cov -coverpkg=./internal/lint/... ./internal/lint/...
-	$(GO) tool cover -func=lint.cov | awk '/^total:/ {sub(/%/,"",$$3); if ($$3+0 < 80.0) {print "internal/lint coverage " $$3 "% is below the 80% gate"; exit 1} else print "internal/lint coverage " $$3 "%"}'
+	$(GO) tool cover -func=lint.cov | awk -v pkg=internal/lint -v floor=$(COVER_FLOOR) '$(COVER_AWK)'
 
 # End-to-end scrape smoke: boot qservd, submit a job over HTTP, then
 # verify /metrics serves Prometheus exposition with the job counters,
@@ -135,8 +146,35 @@ metrics-smoke:
 		|| { echo "metrics-smoke: trace endpoint missing queue.wait span"; exit 1; }; \
 	echo "metrics-smoke: /metrics and /jobs/{id}/trace OK"
 
+# Load-harness smoke — the required CI job. Builds qload, proves the
+# workload generator is byte-reproducible for a fixed (scenario, seed)
+# by diffing two generations, runs the smoke scenario's SLO gate at one
+# seed, and confirms the gate rejects an injected violation
+# (negative_slo.json must exit 1, not 0 and not an operational 2).
+load-smoke:
+	$(GO) build -o bin/qload ./cmd/qload
+	./bin/qload -print-workload -seed 42 scenarios/smoke.json > bin/smoke.workload.a
+	./bin/qload -print-workload -seed 42 scenarios/smoke.json > bin/smoke.workload.b
+	cmp bin/smoke.workload.a bin/smoke.workload.b
+	./bin/qload -gate -seed 42 -out bin/load-reports -trace-dir bin/load-traces scenarios/smoke.json
+	@st=0; ./bin/qload -gate -seed 42 -quiet scenarios/negative_slo.json || st=$$?; \
+	[ "$$st" -eq 1 ] || { echo "load-smoke: negative control expected gate exit 1, got $$st"; exit 1; }
+	@echo "load-smoke: byte-reproducibility + SLO gate + negative control OK"
+
+# Full scenario matrix at the scenarios' 3 BLIS seeds with
+# directional-consistency gating — the nightly CI job. negative_slo.json
+# is excluded from the passing matrix and asserted to fail.
+load-gate:
+	$(GO) build -o bin/qload ./cmd/qload
+	./bin/qload -gate -out bin/load-reports -trace-dir bin/load-traces \
+		scenarios/smoke.json scenarios/bind_storm.json scenarios/calibration_drift.json \
+		scenarios/steady_mixed.json scenarios/surge_multitenant.json
+	@st=0; ./bin/qload -gate -quiet scenarios/negative_slo.json || st=$$?; \
+	[ "$$st" -eq 1 ] || { echo "load-gate: negative control expected gate exit 1, got $$st"; exit 1; }
+	@echo "load-gate: full scenario matrix OK"
+
 # Known-vulnerability scan (network access required).
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: build fmt vet staticcheck lint race cover bench-smoke metrics-smoke
+ci: build fmt vet staticcheck lint race cover bench-smoke metrics-smoke load-smoke

@@ -1,0 +1,195 @@
+// qload replays declarative load scenarios (scenarios/*.json) against
+// the qserv service stack and gates the results on each scenario's SLO
+// block.
+//
+// Usage:
+//
+//	qload [-gate] [-seeds 42,123,456 | -seed N] [-attach URL]
+//	      [-out dir] [-trace-dir dir] [-print-workload]
+//	      [-drain-timeout 30s] [-sample-interval 100ms] [-op-timeout 60s]
+//	      [-quiet] scenario.json [scenario.json ...]
+//
+// By default each scenario runs once at the first seed and prints its
+// report. -gate runs every seed (the scenario's list, or -seeds) and
+// applies the BLIS-style directional-consistency verdict: the gate
+// passes only if every SLO check holds at every seed, and cross-phase
+// compare hypotheses must show their minimum effect size at every seed.
+// qload exits 0 when all gates pass, 1 on any SLO violation and 2 on
+// operational errors (unparseable scenario, unreachable service).
+//
+// Without -attach, each run boots a private in-process qservd shaped by
+// the scenario's "service" block and tears it down with a graceful
+// drain; -attach drives an already running daemon instead (its shape
+// then overrides the scenario's service block).
+//
+// -print-workload generates the scenario's workload for the selected
+// seed and writes the canonical JSON to stdout without running it —
+// piping two invocations through cmp is the byte-reproducibility check
+// CI performs. -out writes per-seed run reports and the gate report as
+// JSON files; -trace-dir dumps the span trees of failed and slowest
+// jobs for post-mortem.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	gate := flag.Bool("gate", false, "run every seed and apply the multi-seed SLO gate (exit 1 on violation)")
+	seedsFlag := flag.String("seeds", "", "comma-separated seed list overriding the scenario's (gate mode)")
+	seedFlag := flag.Int64("seed", 0, "single seed overriding the scenario's list")
+	attach := flag.String("attach", "", "base URL of a running qservd to drive instead of self-booting")
+	outDir := flag.String("out", "", "directory to write run and gate reports into as JSON")
+	traceDir := flag.String("trace-dir", "", "directory to dump failed/slowest job traces into")
+	printWorkload := flag.Bool("print-workload", false, "print the canonical generated workload and exit without running")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "self-booted service teardown drain deadline")
+	sampleInterval := flag.Duration("sample-interval", 100*time.Millisecond, "queue-depth sampling period")
+	opTimeout := flag.Duration("op-timeout", 60*time.Second, "per-op submit→result deadline")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "qload: no scenario files given")
+		flag.Usage()
+		return 2
+	}
+	seeds, err := parseSeeds(*seedsFlag, *seedFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qload: %v\n", err)
+		return 2
+	}
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "qload: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	runner := &loadgen.Runner{
+		AttachURL:      *attach,
+		DrainTimeout:   *drainTimeout,
+		SampleInterval: *sampleInterval,
+		TraceDir:       *traceDir,
+		OpTimeout:      *opTimeout,
+		Logf:           logf,
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		code := runScenario(runner, path, seeds, *gate, *printWorkload, *outDir)
+		if code > exit {
+			exit = code
+		}
+	}
+	return exit
+}
+
+// parseSeeds resolves the -seeds/-seed flags into an override list
+// (nil = use the scenario's own seeds).
+func parseSeeds(list string, single int64) ([]int64, error) {
+	if single != 0 {
+		if list != "" {
+			return nil, fmt.Errorf("-seed and -seeds are mutually exclusive")
+		}
+		return []int64{single}, nil
+	}
+	if list == "" {
+		return nil, nil
+	}
+	var seeds []int64
+	for _, part := range strings.Split(list, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || v == 0 {
+			return nil, fmt.Errorf("bad -seeds entry %q (want non-zero integers)", part)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
+}
+
+func runScenario(runner *loadgen.Runner, path string, seeds []int64, gate, printWorkload bool, outDir string) int {
+	s, err := loadgen.LoadScenario(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qload: %v\n", err)
+		return 2
+	}
+	if len(seeds) == 0 {
+		seeds = s.Seeds
+	}
+	if printWorkload {
+		w, err := loadgen.GenerateWorkload(s, seeds[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qload: %v\n", err)
+			return 2
+		}
+		data, err := w.Canonical()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qload: %v\n", err)
+			return 2
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return 0
+	}
+	if !gate {
+		seeds = seeds[:1]
+	}
+	report, err := runner.RunGate(s, seeds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qload: %v\n", err)
+		return 2
+	}
+	if outDir != "" {
+		if err := writeReports(outDir, report); err != nil {
+			fmt.Fprintf(os.Stderr, "qload: %v\n", err)
+			return 2
+		}
+	}
+	for _, r := range report.Runs {
+		fmt.Println(loadgen.FormatRun(r))
+	}
+	if !gate {
+		// Single-run mode reports but never gates; the per-run SLO verdict
+		// is advisory output.
+		return 0
+	}
+	if report.Pass {
+		fmt.Printf("qload: %s gate PASS (%d seeds)\n", report.Scenario, len(report.Seeds))
+		return 0
+	}
+	fmt.Printf("qload: %s gate FAIL:\n", report.Scenario)
+	for _, v := range report.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	return 1
+}
+
+// writeReports drops the gate report and every run report into dir.
+func writeReports(dir string, g *loadgen.GateReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, v interface{}) error {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
+	}
+	for _, r := range g.Runs {
+		if err := write(fmt.Sprintf("%s-seed%d.json", g.Scenario, r.Seed), r); err != nil {
+			return err
+		}
+	}
+	return write(g.Scenario+"-gate.json", g)
+}

@@ -12,7 +12,7 @@
 //	       [-engine auto] [-passes spec]
 //	       [-session-ttl 15m] [-max-sessions 256]
 //	       [-target device.json] [-calibration cal.json]
-//	       [-metrics] [-trace-ring 1024] [-pprof]
+//	       [-metrics] [-trace-ring 1024] [-pprof] [-drain-timeout 30s]
 //	       [-log-format text|json] [-log-level info]
 //
 // API:
@@ -125,6 +125,13 @@
 // -target adds the device in the given JSON file as an additional gate
 // backend (named after the device); -calibration overlays a calibration
 // file onto it at startup.
+//
+// Shutdown: SIGTERM or SIGINT triggers a graceful drain — the HTTP
+// listener stops accepting connections, further submits are rejected
+// with 503, and in-flight jobs run to completion, all bounded by the
+// -drain-timeout deadline. On a clean drain the process logs its final
+// job counters and exits 0; past the deadline it exits with jobs still
+// in flight (and says so).
 package main
 
 import (
@@ -181,6 +188,8 @@ func main() {
 		"open-session cap, LRU-evicted beyond it (0 = 256 default; negative unbounded)")
 	pprofOn := flag.Bool("pprof", false,
 		"serve net/http/pprof runtime profiles under /debug/pprof/")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"graceful-shutdown deadline for draining in-flight jobs on SIGTERM/SIGINT")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 	flag.Parse()
@@ -264,17 +273,24 @@ func main() {
 		}
 	}()
 
-	// Graceful shutdown: stop accepting, drain the queue, then exit.
+	// Graceful shutdown: on SIGTERM/SIGINT stop accepting new requests,
+	// reject further submits and drain in-flight jobs, all bounded by the
+	// -drain-timeout deadline so a wedged job cannot hold the process
+	// hostage.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("qservd: shutting down, draining queue")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	log.Printf("qservd: shutting down, draining queue (deadline %s)", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := server.Shutdown(ctx); err != nil {
 		log.Printf("qservd: shutdown: %v", err)
 	}
-	svc.Stop()
+	if err := svc.Drain(ctx); err != nil {
+		log.Printf("qservd: drain deadline exceeded, exiting with jobs in flight: %v", err)
+	} else {
+		log.Print("qservd: drained cleanly")
+	}
 	st := svc.Stats()
 	log.Printf("qservd: done — %d jobs submitted, %d done, %d failed, cache hit rate %.0f%%",
 		st.JobsSubmitted, st.JobsDone, st.JobsFailed, 100*st.CacheHitRate)

@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"fmt"
+)
+
+// SLOResult is the outcome of evaluating one run against the scenario's
+// SLO block.
+type SLOResult struct {
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// EvaluateSLO checks one run report against the scenario's SLO block
+// and stores the result on the report. Bounds gate the run totals;
+// compare hypotheses gate phase-vs-phase metrics.
+func EvaluateSLO(s *Scenario, r *RunReport) {
+	var v []string
+	slo := &s.SLO
+	t := &r.Totals
+	check := func(cond bool, format string, args ...interface{}) {
+		if cond {
+			v = append(v, fmt.Sprintf(format, args...))
+		}
+	}
+	if slo.P50Ms != nil {
+		check(t.P50Ms > *slo.P50Ms, "p50_ms %.2f > ceiling %.2f", t.P50Ms, *slo.P50Ms)
+	}
+	if slo.P95Ms != nil {
+		check(t.P95Ms > *slo.P95Ms, "p95_ms %.2f > ceiling %.2f", t.P95Ms, *slo.P95Ms)
+	}
+	if slo.P99Ms != nil {
+		check(t.P99Ms > *slo.P99Ms, "p99_ms %.2f > ceiling %.2f", t.P99Ms, *slo.P99Ms)
+	}
+	if slo.MaxErrorRate != nil {
+		check(t.ErrorRate > *slo.MaxErrorRate, "error_rate %.4f > max %.4f", t.ErrorRate, *slo.MaxErrorRate)
+	}
+	if slo.MaxRejectRate != nil {
+		check(t.RejectRate > *slo.MaxRejectRate, "reject_rate %.4f > max %.4f", t.RejectRate, *slo.MaxRejectRate)
+	}
+	if slo.MinFullHitRate != nil {
+		check(r.Server.FullHitRate < *slo.MinFullHitRate, "full_hit_rate %.4f < min %.4f", r.Server.FullHitRate, *slo.MinFullHitRate)
+	}
+	if slo.MinPrefixHitRate != nil {
+		check(r.Server.PrefixHitRate < *slo.MinPrefixHitRate, "prefix_hit_rate %.4f < min %.4f", r.Server.PrefixHitRate, *slo.MinPrefixHitRate)
+	}
+	if slo.MaxQueueDepth != nil {
+		check(r.Server.MaxQueueDepth > *slo.MaxQueueDepth, "max_queue_depth %d > ceiling %d", r.Server.MaxQueueDepth, *slo.MaxQueueDepth)
+	}
+	for _, c := range slo.Compare {
+		better, okB := phaseMetric(r, c.Better, c.Metric)
+		worse, okW := phaseMetric(r, c.Worse, c.Metric)
+		if !okB || !okW {
+			v = append(v, fmt.Sprintf("compare %s: phase metrics unavailable (%s/%s)", c.Metric, c.Better, c.Worse))
+			continue
+		}
+		if worse <= 0 {
+			v = append(v, fmt.Sprintf("compare %s: %s has zero %s; cannot establish effect", c.Metric, c.Worse, c.Metric))
+			continue
+		}
+		effect := (worse - better) / worse
+		check(effect < c.MinEffect,
+			"compare %s: %s (%.2f) vs %s (%.2f) effect %.3f < min %.3f",
+			c.Metric, c.Better, better, c.Worse, worse, effect, c.MinEffect)
+	}
+	r.SLO = SLOResult{Pass: len(v) == 0, Violations: v}
+}
+
+// phaseMetric extracts one compare metric from a named phase's block.
+func phaseMetric(r *RunReport, phase, metric string) (float64, bool) {
+	for _, p := range r.Phases {
+		if p.Name != phase {
+			continue
+		}
+		switch metric {
+		case "p50_ms":
+			return p.Metrics.P50Ms, true
+		case "p95_ms":
+			return p.Metrics.P95Ms, true
+		case "p99_ms":
+			return p.Metrics.P99Ms, true
+		case "mean_ms":
+			return p.Metrics.MeanMs, true
+		}
+	}
+	return 0, false
+}
+
+// SeedSummary aggregates one totals metric across the gate's seeds.
+type SeedSummary struct {
+	Metric string  `json:"metric"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// GateReport is the multi-seed gate verdict for one scenario: BLIS-style
+// directional consistency — the gate passes only if every seed passes
+// every SLO check. One contradicting seed fails the gate.
+type GateReport struct {
+	Scenario string  `json:"scenario"`
+	Seeds    []int64 `json:"seeds"`
+	Pass     bool    `json:"pass"`
+	// Violations are the per-seed failures, prefixed "seed N: ".
+	Violations []string      `json:"violations,omitempty"`
+	Summary    []SeedSummary `json:"summary"`
+	Runs       []*RunReport  `json:"runs"`
+}
+
+// Gate evaluates each run's SLO and folds the per-seed verdicts into
+// the directional-consistency gate verdict.
+func Gate(s *Scenario, runs []*RunReport) *GateReport {
+	g := &GateReport{Scenario: s.Name, Pass: true, Runs: runs}
+	for _, r := range runs {
+		g.Seeds = append(g.Seeds, r.Seed)
+		// Re-evaluation is idempotent, so the gate never trusts a stale
+		// (or zero-value) SLOResult on the run.
+		EvaluateSLO(s, r)
+		if !r.SLO.Pass {
+			g.Pass = false
+			for _, v := range r.SLO.Violations {
+				g.Violations = append(g.Violations, fmt.Sprintf("seed %d: %s", r.Seed, v))
+			}
+		}
+	}
+	summarize := func(metric string, pick func(*RunReport) float64) {
+		if len(runs) == 0 {
+			return
+		}
+		sum := SeedSummary{Metric: metric}
+		for i, r := range runs {
+			v := pick(r)
+			sum.Mean += v
+			if i == 0 || v < sum.Min {
+				sum.Min = v
+			}
+			if i == 0 || v > sum.Max {
+				sum.Max = v
+			}
+		}
+		sum.Mean /= float64(len(runs))
+		g.Summary = append(g.Summary, sum)
+	}
+	summarize("p50_ms", func(r *RunReport) float64 { return r.Totals.P50Ms })
+	summarize("p95_ms", func(r *RunReport) float64 { return r.Totals.P95Ms })
+	summarize("p99_ms", func(r *RunReport) float64 { return r.Totals.P99Ms })
+	summarize("error_rate", func(r *RunReport) float64 { return r.Totals.ErrorRate })
+	summarize("reject_rate", func(r *RunReport) float64 { return r.Totals.RejectRate })
+	summarize("throughput_per_sec", func(r *RunReport) float64 { return r.Totals.ThroughputPerSec })
+	summarize("full_hit_rate", func(r *RunReport) float64 { return r.Server.FullHitRate })
+	summarize("prefix_hit_rate", func(r *RunReport) float64 { return r.Server.PrefixHitRate })
+	return g
+}

@@ -283,6 +283,39 @@
 // as an extra backend via -target, and adds -metrics, -trace-ring,
 // -pprof and the -log-* flags for the observability layer.
 //
+// # Load testing, SLO methodology and graceful shutdown
+//
+// Service-level objectives for this stack are not asserted from single
+// runs. The load harness (internal/loadgen, cmd/qload) replays
+// declarative scenarios (scenarios/*.json) against a booted service and
+// gates the results with the repo's experiment standards: every
+// scenario runs at 3 fixed seeds (42, 123, 456), each seed's
+// deterministically generated workload must satisfy every SLO bound —
+// latency percentile ceilings, error/reject-rate ceilings, cache
+// hit-rate floors, queue-depth ceilings — and cross-phase "compare"
+// hypotheses (e.g. cache-hot p95 beats cache-cold p95) must show at
+// least a 20% effect size at every seed, directionally consistent: one
+// contradicting seed fails the whole gate even if the 3-seed mean looks
+// fine. Workload generation is byte-reproducible — one (scenario, seed)
+// pair always yields the identical canonical op stream, with every op
+// carrying a non-zero derived seed so the service never substitutes its
+// own — which makes a gate failure replayable offline. The measured
+// latencies are client-observed submit→result times under open-loop
+// Poisson arrivals (ops fire at their scheduled offsets whether or not
+// earlier ops finished, so queueing delay is not silently absorbed into
+// the arrival process) or closed-loop think-time lanes, and the report
+// joins them with the server's own /stats and /metrics deltas — cache
+// hit rates, engine-dispatch mix, queue-depth samples — so client and
+// server views of the same run can be cross-checked. `make load-smoke`
+// is the required CI gate; `make load-gate` is the nightly full matrix.
+//
+// Load tests lean on the service's graceful shutdown: Service.Drain
+// stops admission immediately (Submit fails with ErrStopped), lets the
+// worker pools finish every admitted job, and respects the caller's
+// context deadline; Service.Stop is Drain with no deadline. cmd/qservd
+// traps SIGTERM/SIGINT and drains within -drain-timeout, so in-flight
+// jobs complete before the process exits.
+//
 // Two of this package's contracts are machine-checked by the qlint
 // analyzer suite (internal/lint, run by `make lint` and CI): detmap
 // keeps map iteration order out of API responses, /stats rows, logs and

@@ -1,0 +1,61 @@
+package qserv
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Drain must reject new submits immediately, finish admitted jobs, and
+// respect the caller's deadline; a later unbounded call picks up the
+// same drain and completes it.
+func TestDrainGraceful(t *testing.T) {
+	s := DefaultService(Config{Seed: 5, QueueSize: 64}, 4, 1)
+	s.Start()
+	var jobs []*Job
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit(Request{CQASM: bellCQASM, Backend: "perfect", Shots: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	// An already-expired context forces the deadline path: the drain
+	// starts but cannot possibly finish in zero time.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := s.Drain(expired); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with expired context = %v, want DeadlineExceeded", err)
+	}
+	// Submits are rejected from the moment the drain starts.
+	if _, err := s.Submit(Request{CQASM: bellCQASM, Backend: "perfect"}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Submit during drain = %v, want ErrStopped", err)
+	}
+	// The unbounded retry joins the in-progress drain and sees it finish;
+	// every admitted job must have completed.
+	ctx, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("second Drain = %v", err)
+	}
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		default:
+			t.Fatalf("job %s not terminal after drain", j.ID)
+		}
+		if j.Status() != StatusDone {
+			t.Fatalf("job %s = %s after drain, want done", j.ID, j.Status())
+		}
+	}
+	// Stop after Drain is a no-op, not a double-close panic.
+	s.Stop()
+}
+
+func TestDrainNeverStarted(t *testing.T) {
+	s := New(Config{})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain on never-started service = %v, want nil", err)
+	}
+}

@@ -166,6 +166,9 @@ type Service struct {
 	byName   map[string]*backendPool
 	started  bool
 	stopped  bool
+	// drained is created by the first Drain/Stop call and closed when all
+	// workers have exited; later calls wait on the same channel.
+	drained chan struct{}
 	// sessions holds the open variational sessions (guarded by mu, like
 	// the lifecycle counters below it).
 	sessions    map[string]*Session
@@ -337,19 +340,45 @@ func (s *Service) Start() {
 }
 
 // Stop rejects further submissions, drains queued jobs to completion and
-// waits for all workers to exit.
+// waits for all workers to exit, however long that takes. Deadline-bound
+// shutdown paths should prefer Drain.
 func (s *Service) Stop() {
+	_ = s.Drain(context.Background())
+}
+
+// Drain is the graceful-shutdown half of Stop: it immediately rejects
+// further submissions (Submit returns ErrStopped), closes every pool's
+// queue so workers finish the jobs already admitted, and waits for the
+// workers to exit — but only as long as ctx allows. On deadline it
+// returns ctx.Err() with workers still running; the drain keeps
+// completing in the background, so a subsequent Drain (or Stop) call
+// picks up the same wait. Draining a never-started service is a no-op;
+// concurrent calls share one drain state.
+func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.started || s.stopped {
+	if !s.started {
 		s.mu.Unlock()
-		return
+		return nil
 	}
-	s.stopped = true
-	for _, p := range s.pools {
-		close(p.ch)
+	if !s.stopped {
+		s.stopped = true
+		for _, p := range s.pools {
+			close(p.ch)
+		}
+		s.drained = make(chan struct{})
+		go func(done chan struct{}) {
+			s.wg.Wait()
+			close(done)
+		}(s.drained)
 	}
+	done := s.drained
 	s.mu.Unlock()
-	s.wg.Wait()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // worker executes jobs from one pool's lane.
